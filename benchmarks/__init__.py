@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation."""

@@ -1,0 +1,61 @@
+"""Ablation A4: the probe-interval length Γ.
+
+The paper fixes ``Γ = ⌊R/(r_s·τ)⌋`` — the largest interval such that a
+sensor heard at the probe stays reachable throughout.  Γ is really a
+protocol knob: *smaller* intervals mean more probes (overhead) but less
+boundary loss — a sensor whose window starts mid-interval waits less
+for the next probe; *larger* intervals would break the reachability
+premise.  This ablation sweeps Γ from ``Γ*/8`` to ``Γ*`` and records
+throughput and message counts, quantifying the trade-off the paper's
+choice sits on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.online.online_appro import online_appro
+from repro.sim.scenario import ScenarioConfig
+
+REPEATS = 3
+
+
+def test_gamma_ablation(benchmark):
+    def run():
+        rows = {}
+        scenarios = [
+            ScenarioConfig(num_sensors=300).build(seed=seed) for seed in range(REPEATS)
+        ]
+        gamma_star = scenarios[0].gamma
+        for divisor in (8, 4, 2, 1):
+            gamma = max(1, gamma_star // divisor)
+            bits, msgs = [], []
+            for scenario in scenarios:
+                inst = scenario.instance()
+                result = online_appro(inst, gamma)
+                bits.append(result.collected_bits)
+                msgs.append(result.messages.total_messages)
+            rows[gamma] = (float(np.mean(bits)) / 1e6, float(np.mean(msgs)))
+        return gamma_star, rows
+
+    gamma_star, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"gamma={g:>3} ({'paper' if g == gamma_star else f'G*/{gamma_star // g}'}): "
+        f"{mb:7.2f} Mb, {msg:7.0f} messages"
+        for g, (mb, msg) in rows.items()
+    ]
+    save_report("ablation_gamma", "\n".join(lines) + "\n")
+
+    gammas = sorted(rows)
+    # Smaller gamma -> more probe intervals -> strictly more messages.
+    msg_series = [rows[g][1] for g in gammas]
+    assert all(a >= b for a, b in zip(msg_series, msg_series[1:])), msg_series
+    # Message overhead shrinks by at least 2x from G*/8 to G*.
+    assert rows[gammas[0]][1] >= 2.0 * rows[gammas[-1]][1]
+    # Throughput stays within a modest band across the sweep: boundary
+    # loss and granularity trade against each other.
+    mbs = [rows[g][0] for g in gammas]
+    assert max(mbs) / min(mbs) < 1.25, mbs

@@ -1,0 +1,71 @@
+"""Ablation A1: the knapsack solver inside ``Offline_Appro``.
+
+The paper's guarantee is ``1/(1+β)`` for a ``β``-approximate knapsack:
+exact ⇒ 1/2, FPTAS(ε) ⇒ 1/(2+ε), greedy ⇒ 1/3.  This ablation measures
+what the solver choice costs *in practice* on paper-scale instances:
+throughput and scheduler runtime per method.
+
+Expected outcome (recorded in EXPERIMENTS.md): the exact few-weights
+solver and the FPTAS deliver near-identical throughput — the radio
+table's 4 weight classes make exact solving cheap — while greedy gives
+up only a little, so the paper's FPTAS-based ratio is pessimistic on
+realistic instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.core.offline_appro import offline_appro
+from repro.sim.scenario import ScenarioConfig
+
+METHODS = [
+    ("few_weights", {}),
+    ("greedy", {}),
+    ("fptas", {"epsilon": 0.1}),
+    ("fptas", {"epsilon": 0.5}),
+]
+
+N = 300
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def instances():
+    out = []
+    for seed in range(REPEATS):
+        scenario = ScenarioConfig(num_sensors=N).build(seed=seed)
+        out.append(scenario.instance())
+    return out
+
+
+@pytest.mark.parametrize("method,kwargs", METHODS, ids=lambda m: str(m))
+def test_knapsack_method_ablation(benchmark, instances, method, kwargs):
+    def run_all():
+        return [
+            offline_appro(inst, knapsack_method=method, **kwargs).collected_bits(inst)
+            for inst in instances
+        ]
+
+    bits = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    mean_mb = float(np.mean(bits)) / 1e6
+    label = method + (f"(eps={kwargs['epsilon']})" if kwargs else "")
+    save_report(
+        f"ablation_knapsack_{label}",
+        f"Offline_Appro knapsack={label}: mean {mean_mb:.2f} Mb over {REPEATS} topologies (n={N})\n",
+    )
+    assert mean_mb > 0
+
+
+def test_exact_beats_greedy_on_average(instances):
+    exact = np.mean(
+        [offline_appro(i, knapsack_method="few_weights").collected_bits(i) for i in instances]
+    )
+    greedy = np.mean(
+        [offline_appro(i, knapsack_method="greedy").collected_bits(i) for i in instances]
+    )
+    # Greedy can tie but never wins by more than noise; exact must hold
+    # at least ~97% ... the other way: greedy <= exact * 1.02.
+    assert greedy <= exact * 1.02

@@ -1,0 +1,68 @@
+"""Ablation A6: throughput vs per-sensor fairness across algorithms.
+
+The paper maximises total data; its related work (Liu et al.'s
+lexicographic maximin) optimises fairness instead.  This bench measures
+where each of our algorithms sits on that trade-off: Jain's index over
+per-sensor collected data (restricted to reachable sensors) against
+total throughput.
+
+Expected: round-robin is the fairest and cheapest in throughput; the
+optimising algorithms cluster at high throughput with moderate
+fairness; random sits in between on fairness but far below on
+throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_report
+from repro.sim.algorithms import get_algorithm
+from repro.sim.metrics import jain_fairness
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import run_tour
+
+ALGOS = [
+    "Offline_MaxMatch",
+    "Offline_Appro",
+    "Online_Appro",
+    "Baseline[greedy_profit]",
+    "Baseline[random]",
+    "Baseline[round_robin]",
+]
+REPEATS = 3
+
+
+def test_fairness_tradeoff(benchmark):
+    def run():
+        rows = {name: {"mb": [], "jain": []} for name in ALGOS}
+        for seed in range(REPEATS):
+            scenario = ScenarioConfig(num_sensors=200, fixed_power=0.3).build(seed=seed)
+            inst = scenario.instance()
+            reachable = np.array(
+                [inst.window_of(i) is not None for i in range(inst.num_sensors)]
+            )
+            for name in ALGOS:
+                result = run_tour(scenario, get_algorithm(name), mutate=False)
+                per_sensor = result.allocation.per_sensor_bits(inst)[reachable]
+                rows[name]["mb"].append(result.collected_megabits)
+                rows[name]["jain"].append(jain_fairness(per_sensor))
+        return {
+            name: (float(np.mean(v["mb"])), float(np.mean(v["jain"])))
+            for name, v in rows.items()
+        }
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{name:<26} {mb:7.2f} Mb   Jain {jain:.3f}" for name, (mb, jain) in stats.items()
+    ]
+    save_report("fairness_tradeoff", "\n".join(lines) + "\n")
+
+    # Round-robin is the fairest of all policies measured.
+    rr_jain = stats["Baseline[round_robin]"][1]
+    for name, (_, jain) in stats.items():
+        if name != "Baseline[round_robin]":
+            assert rr_jain >= jain - 0.05, (name, jain, rr_jain)
+    # And the optimising algorithms dominate it on throughput.
+    assert stats["Offline_MaxMatch"][0] > 1.2 * stats["Baseline[round_robin]"][0]

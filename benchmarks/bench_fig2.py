@@ -1,0 +1,56 @@
+"""Figure 2 benchmark: Offline_Appro vs Online_Appro.
+
+Regenerates the paper's Figure 2 series (network throughput vs n for
+(r_s, τ) ∈ {(5,1), (10,2), (30,4)}) and asserts its qualitative claims:
+
+* the offline algorithm dominates the online one at every point;
+* the online algorithm stays within a few percent (paper: ≥ 93 %);
+* throughput grows with n and falls as the sink speeds up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.experiments import fig2
+from repro.experiments.sweep import aggregate
+
+
+def _mean(stats, panel, n, algo):
+    return stats[(panel, n)][algo][0]
+
+
+def test_fig2_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig2.run(repeats=scale["repeats"], sizes=scale["sizes"]),
+        rounds=1,
+        iterations=1,
+    )
+    report = fig2.report(result)
+    path = save_report("fig2", report)
+    print(report)
+    print(f"[saved to {path}]")
+
+    stats = aggregate(result, ["panel", "n"])
+    panels = result.label_values("panel")
+    sizes = result.label_values("n")
+
+    # Offline dominates online at every point (means over topologies).
+    for panel in panels:
+        for n in sizes:
+            off = _mean(stats, panel, n, "Offline_Appro")
+            on = _mean(stats, panel, n, "Online_Appro")
+            assert off >= on - 1e-6, (panel, n)
+            # Paper: online within a few percent of offline.
+            assert on >= 0.85 * off, (panel, n, on / off)
+
+    # Throughput grows with n within each panel.
+    for panel in panels:
+        series = [_mean(stats, panel, n, "Offline_Appro") for n in sizes]
+        assert series[-1] > series[0], (panel, series)
+
+    # Faster sink (+ longer tau) => lower throughput at every n.
+    for n in sizes:
+        per_panel = [_mean(stats, panel, n, "Offline_Appro") for panel in panels]
+        assert per_panel[0] > per_panel[1] > per_panel[2], (n, per_panel)

@@ -1,0 +1,55 @@
+"""Figure 3 benchmark: the fixed-power special case, four algorithms.
+
+Regenerates the paper's Figure 3 series (throughput vs n for
+r_s ∈ {5, 10, 30} m/s at fixed 300 mW) and asserts:
+
+* ``Offline_MaxMatch`` (exact) dominates every other algorithm;
+* online variants trail their offline counterparts only slightly;
+* the speed effect: 5 m/s collects ≈ 2× of 10 m/s (paper: +101 %) and
+  several times 30 m/s (paper: +540 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import save_report
+from repro.experiments import fig3
+from repro.experiments.sweep import aggregate
+
+
+def test_fig3_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: fig3.run(repeats=scale["repeats"], sizes=scale["sizes"]),
+        rounds=1,
+        iterations=1,
+    )
+    report = fig3.report(result)
+    path = save_report("fig3", report)
+    print(report)
+    print(f"[saved to {path}]")
+
+    stats = aggregate(result, ["panel", "n"])
+    panels = result.label_values("panel")
+    sizes = result.label_values("n")
+
+    for panel in panels:
+        for n in sizes:
+            cell = stats[(panel, n)]
+            top = cell["Offline_MaxMatch"][0]
+            # Exact algorithm on top of all four.
+            for algo, (mean, _, _) in cell.items():
+                assert mean <= top + 1e-6, (panel, n, algo)
+            # Offline >= its online counterpart.
+            assert cell["Offline_MaxMatch"][0] >= cell["Online_MaxMatch"][0] - 1e-6
+            assert cell["Offline_Appro"][0] >= cell["Online_Appro"][0] - 1e-6
+            # Online variants stay close (paper: marginal gap).
+            assert cell["Online_MaxMatch"][0] >= 0.85 * top
+
+    # Speed effect at the largest n: ratios in the paper's ballpark.
+    n_big = sizes[-1]
+    v5 = stats[(panels[0], n_big)]["Offline_MaxMatch"][0]
+    v10 = stats[(panels[1], n_big)]["Offline_MaxMatch"][0]
+    v30 = stats[(panels[2], n_big)]["Offline_MaxMatch"][0]
+    assert 1.5 <= v5 / v10 <= 3.0, v5 / v10  # paper: ~2.01x
+    assert 3.5 <= v5 / v30 <= 10.0, v5 / v30  # paper: ~6.4x

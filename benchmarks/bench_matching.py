@@ -1,0 +1,64 @@
+"""Ablation A2: b-matching engine equivalence and speed.
+
+``Offline_MaxMatch`` can solve its matching with our from-scratch
+min-cost flow, scipy's Jonker–Volgenant assignment on expanded copies,
+or the HiGHS LP over the (totally unimodular) b-matching polytope.
+All three are exact; this benchmark times them on a paper-scale
+instance and asserts they return the same optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.offline_maxmatch import build_matching_edges, offline_maxmatch
+from repro.sim.scenario import ScenarioConfig
+
+ENGINES = ["flow", "lsa", "lp"]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # n=200 keeps the dense LSA expansion affordable while staying
+    # representative (edges ~ 200 * 80).
+    scenario = ScenarioConfig(num_sensors=200, fixed_power=0.3).build(seed=5)
+    return scenario.instance()
+
+
+@pytest.fixture(scope="module")
+def reference_bits(instance):
+    return offline_maxmatch(instance, engine="lp").collected_bits(instance)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_matching_engine(benchmark, instance, reference_bits, engine):
+    allocation = benchmark.pedantic(
+        lambda: offline_maxmatch(instance, engine=engine), rounds=1, iterations=1
+    )
+    assert allocation.collected_bits(instance) == pytest.approx(reference_bits)
+
+
+def test_auction_engine_within_epsilon(benchmark, instance, reference_bits):
+    """The ε-optimal auction engine on a per-interval-sized problem
+    (tour-scale dense matrices exceed its memory guard by design)."""
+    from repro.core.auction import auction_b_matching
+    from repro.core.offline_maxmatch import build_matching_edges
+    from repro.utils.intervals import SlotInterval
+
+    sub, _ = instance.restrict(SlotInterval(0, 39))
+    edges, caps = build_matching_edges(sub, fixed_power=0.3)
+    result = benchmark.pedantic(
+        lambda: auction_b_matching(edges, caps, sub.num_slots), rounds=1, iterations=1
+    )
+    from repro.core.matching import max_weight_b_matching
+
+    exact = max_weight_b_matching(edges, caps, sub.num_slots, engine="flow")
+    max_w = max(w for _, _, w in edges)
+    assert result.weight >= exact.weight - max_w * 1e-3
+    assert result.weight <= exact.weight + 1e-9
+
+
+def test_edge_count_scale(instance):
+    edges, caps = build_matching_edges(instance)
+    assert len(edges) > 1000  # paper-scale graph, not a toy
+    assert caps.max() > 0

@@ -1,0 +1,44 @@
+"""Scalability benchmark (Theorems 2–4): scheduler runtime vs n.
+
+The paper claims ``O(n²)`` for ``Offline_Appro`` (Theorem 2), ``O(n)``
+time and messages for the online framework (Theorem 3), and
+``O(n^1.5)`` for ``Online_MaxMatch`` (Theorem 4), all with Γ constant.
+This benchmark times each algorithm at increasing n on fixed geometry
+and checks the *message* bound exactly (time bounds are reported, not
+asserted — wall-clock constants vary by machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.algorithms import get_algorithm
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import run_tour
+
+SIZES = [100, 300, 600]
+ALGOS = ["Offline_Appro", "Online_Appro", "Offline_MaxMatch", "Online_MaxMatch"]
+
+
+def _scenario(name: str, n: int):
+    fixed = 0.3 if "MaxMatch" in name else None
+    return ScenarioConfig(num_sensors=n, fixed_power=fixed).build(seed=99)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algo_name", ALGOS)
+def test_scheduler_runtime(benchmark, algo_name, n):
+    scenario = _scenario(algo_name, n)
+    instance = scenario.instance()
+    algorithm = get_algorithm(algo_name)
+    gamma = scenario.gamma
+
+    allocation, messages = benchmark.pedantic(
+        lambda: algorithm.run(instance, gamma), rounds=1, iterations=2
+    )
+    allocation.check_feasible(instance)
+    if messages is not None:
+        # Theorem 3/4: O(n) messages — at most 2 acks per sensor plus 3
+        # broadcasts per interval (interval count is n-independent).
+        intervals = -(-instance.num_slots // gamma)
+        assert messages.total_messages <= 2 * n + 3 * intervals

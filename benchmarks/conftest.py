@@ -1,0 +1,49 @@
+"""Benchmark configuration.
+
+Every figure benchmark runs the corresponding experiment module at a
+scale controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick`` (default) — 3 topologies per point, n ∈ {100, 300, 600};
+  minutes on a laptop, enough for every qualitative shape check.
+* ``full`` — the paper's methodology verbatim: 50 topologies per point,
+  n ∈ {100..600}.
+
+Besides timing, each benchmark *asserts the paper's qualitative claims*
+and writes the regenerated series tables to ``benchmarks/results/`` so
+the reproduction is inspectable after ``pytest benchmarks/
+--benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> dict:
+    """Sweep scale derived from REPRO_BENCH_SCALE."""
+    mode = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if mode == "full":
+        return {
+            "repeats": 50,
+            "sizes": (100, 200, 300, 400, 500, 600),
+            "mode": mode,
+        }
+    return {"repeats": 3, "sizes": (100, 300, 600), "mode": "quick"}
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a regenerated figure table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    return bench_scale()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Speed control: slow down where sensors are dense (extension).
+
+The paper fixes the sink's speed and cites Kansal et al.'s speed
+control as the classic way to collect more.  This example plans a
+density-aware speed profile with the *same total tour time* (so data
+latency is unchanged) and measures what it buys on a highway whose
+sensors cluster around two interchanges.
+
+Run:  python examples/speed_control.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import offline_appro
+from repro.core.instance import DataCollectionInstance
+from repro.network.deployment import clustered_deployment
+from repro.network.geometry import LinearPath
+from repro.network.path import SinkTrajectory
+from repro.network.radio import CC2420_LIKE_TABLE
+from repro.network.network import SensorNetwork
+from repro.network.variable_speed import VariableSpeedTrajectory, density_speed_profile
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    path = LinearPath(10_000.0)
+    xy = clustered_deployment(
+        300, 10_000.0, 180.0, num_clusters=2, cluster_std=600.0, seed=rng
+    )
+    net = SensorNetwork.build(
+        path, xy, 10_000.0, rng.uniform(0.5, 8.0, 300)
+    )
+    tour_time = 2000.0  # the latency budget: 33 min, same for all plans
+
+    plans = {
+        "constant 5 m/s": SinkTrajectory(path, 10_000.0 / tour_time, 1.0),
+    }
+    for strength in (0.5, 1.0, 2.0):
+        profile = density_speed_profile(
+            xy[:, 0], 10_000.0, tour_time, num_segments=25, strength=strength
+        )
+        plans[f"density-aware (strength={strength})"] = VariableSpeedTrajectory(
+            path, profile, 1.0
+        )
+
+    print(f"{'plan':<32} {'tour':>8} {'throughput':>12}")
+    base = None
+    for name, traj in plans.items():
+        instance = DataCollectionInstance.from_network(
+            net, traj, CC2420_LIKE_TABLE, net.budgets()
+        )
+        bits = offline_appro(instance).collected_bits(instance)
+        base = base or bits
+        print(
+            f"{name:<32} {traj.tour_duration:>6.0f} s "
+            f"{bits / 1e6:>9.2f} Mb ({bits / base - 1.0:+.1%})"
+        )
+    print(
+        "\nSame latency, more data: dwell time migrates from empty road "
+        "to the interchanges where the sensors (and their energy) are."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The speed/latency trade-off the paper's introduction motivates.
+
+"The faster the mobile sink travels, the shorter the duration per tour
+will be, resulting in a shorter delay on data delivery … although a
+higher speed leads to a shorter delay, it will result in a less amount
+of data collected per tour too."  This example quantifies both sides:
+for sink speeds from 2 to 40 m/s it reports the data latency (tour
+duration) and the per-tour throughput, plus the derived collection
+*rate* (Mb per hour of patrol), showing where the sweet spot sits for a
+given deployment.
+
+Run:  python examples/speed_latency_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ScenarioConfig, get_algorithm, run_tour
+
+
+def main() -> None:
+    speeds = [2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 40.0]
+    repeats = 3
+    print(
+        f"{'speed':>6} {'latency':>9} {'throughput':>12} {'rate':>12}"
+        f"   (n=300, tau=1 s, Online_Appro, mean of {repeats} topologies)"
+    )
+    for speed in speeds:
+        config = ScenarioConfig(num_sensors=300, sink_speed=speed)
+        tour_minutes = config.path_length / speed / 60.0
+        values = []
+        for seed in range(repeats):
+            scenario = config.build(seed=seed)
+            result = run_tour(scenario, get_algorithm("Online_Appro"), mutate=False)
+            values.append(result.collected_megabits)
+        mb = float(np.mean(values))
+        rate_per_hour = mb / (tour_minutes / 60.0)
+        print(
+            f"{speed:>4.0f} m/s {tour_minutes:>7.1f} min {mb:>9.2f} Mb "
+            f"{rate_per_hour:>9.2f} Mb/h"
+        )
+    print(
+        "\nLatency falls linearly with speed while per-tour data falls "
+        "almost as fast: collection *rate* is nearly flat, so the speed "
+        "choice is governed by the application's freshness requirement, "
+        "as the paper argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

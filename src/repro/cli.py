@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``fig2`` / ``fig3`` / ``fig4`` — regenerate a paper figure::
+
+      python -m repro fig3 --repeats 50
+      python -m repro fig2 --repeats 3 --sizes 100 300 600 --jobs 4
+
+* ``compare`` — run every applicable algorithm on one topology and
+  report throughput, LP-bound fraction, runtime and message counts::
+
+      python -m repro compare --sensors 300 --seed 7 --fixed-power 0.3
+
+* ``coverage`` — deployment diagnostics (contention, holes, ceiling)::
+
+      python -m repro coverage --sensors 300 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sensors", type=int, default=300, help="network size n")
+    parser.add_argument("--seed", type=int, default=0, help="topology seed")
+    parser.add_argument("--speed", type=float, default=5.0, help="sink speed (m/s)")
+    parser.add_argument("--tau", type=float, default=1.0, help="slot duration (s)")
+    parser.add_argument(
+        "--fixed-power",
+        type=float,
+        default=None,
+        help="use the fixed-power special case with this power in watts",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Use of a Mobile Sink for "
+            "Maximizing Data Collection in Energy Harvesting Sensor "
+            "Networks' (ICPP 2013)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, module in EXPERIMENTS.items():
+        p = sub.add_parser(name, help=module.__doc__.splitlines()[0])
+        p.add_argument(
+            "--repeats",
+            type=int,
+            default=50,
+            help="random topologies per point (paper: 50)",
+        )
+        p.add_argument(
+            "--sizes",
+            type=int,
+            nargs="+",
+            default=None,
+            help="network sizes n to sweep (default: the paper's 100..600)",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes (default: all cores; 1 = in-process)",
+        )
+        p.add_argument("--seed", type=int, default=None, help="override the root seed")
+        p.add_argument(
+            "--output",
+            type=str,
+            default=None,
+            help="also write the raw sweep records to this JSON file",
+        )
+
+    compare = sub.add_parser(
+        "compare", help="run every applicable algorithm on one topology"
+    )
+    _add_scenario_args(compare)
+
+    coverage = sub.add_parser("coverage", help="deployment coverage diagnostics")
+    _add_scenario_args(coverage)
+
+    return parser
+
+
+def _build_scenario(args: argparse.Namespace):
+    from repro.sim.scenario import ScenarioConfig
+
+    config = ScenarioConfig(
+        num_sensors=args.sensors,
+        sink_speed=args.speed,
+        slot_duration=args.tau,
+        fixed_power=args.fixed_power,
+    )
+    return config.build(seed=args.seed)
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    module = get_experiment(args.command)
+    kwargs = {"repeats": args.repeats, "jobs": args.jobs}
+    if args.sizes is not None:
+        kwargs["sizes"] = tuple(args.sizes)
+    if args.seed is not None:
+        kwargs["root_seed"] = args.seed
+    t0 = time.perf_counter()
+    result = module.run(**kwargs)
+    elapsed = time.perf_counter() - t0
+    print(module.report(result))
+    print(f"({len(result.records)} records in {elapsed:.1f} s)")
+    if getattr(args, "output", None):
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json(indent=2))
+        print(f"[raw records written to {args.output}]")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.core.lp import dcmp_lp_upper_bound
+    from repro.sim.algorithms import ALGORITHMS, get_algorithm
+    from repro.sim.simulator import run_tour
+
+    scenario = _build_scenario(args)
+    instance = scenario.instance()
+    bound = dcmp_lp_upper_bound(instance)
+    print(
+        f"topology: n={args.sensors}, T={instance.num_slots}, gamma={scenario.gamma}, "
+        f"seed={args.seed}; LP bound {bound / 1e6:.2f} Mb\n"
+    )
+    print(f"{'algorithm':<26} {'Mb':>9} {'of LP':>7} {'ms':>8} {'messages':>9}")
+    for name in ALGORITHMS:
+        if "MaxMatch" in name and args.fixed_power is None:
+            continue  # only exact for the single-power special case
+        result = run_tour(scenario, get_algorithm(name), mutate=False)
+        frac = result.collected_bits / bound if bound else 0.0
+        msgs = result.messages.total_messages if result.messages else 0
+        print(
+            f"{name:<26} {result.collected_megabits:>9.2f} {frac:>6.1%} "
+            f"{result.wall_time * 1e3:>8.1f} {msgs:>9}"
+        )
+    return 0
+
+
+def _run_coverage(args: argparse.Namespace) -> int:
+    from repro.network.coverage import analyze_coverage
+
+    scenario = _build_scenario(args)
+    instance = scenario.instance()
+    report = analyze_coverage(instance)
+    print(f"topology: n={args.sensors}, T={instance.num_slots}, seed={args.seed}")
+    print(f"coverage fraction      {report.coverage_fraction:.1%}")
+    print(f"coverage holes         {report.uncovered_slots.size} slots")
+    print(f"mean / max contention  {report.mean_contention:.2f} / {report.max_contention}")
+    print(f"unreachable sensors    {int((report.window_sizes == 0).sum())}")
+    print(
+        "throughput ceiling     "
+        f"{report.throughput_ceiling_bits(instance.slot_duration) / 1e6:.2f} Mb (energy-free)"
+    )
+    dense = report.is_densely_deployed(scenario.gamma)
+    print(f"dense-deployment premise (gamma={scenario.gamma}): {'holds' if dense else 'VIOLATED'}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in EXPERIMENTS:
+        return _run_figure(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "coverage":
+        return _run_coverage(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

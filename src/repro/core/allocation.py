@@ -1,0 +1,189 @@
+"""Slot allocations and their feasibility/objective accounting.
+
+An :class:`Allocation` is the output of every algorithm in the library:
+a mapping from time slots to the (at most one) sensor transmitting in
+each slot.  It knows how to score itself against an instance (collected
+bits, energy spent) and to verify the paper's constraints (1)–(4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import DataCollectionInstance
+
+__all__ = ["Allocation"]
+
+#: Budget-comparison tolerance in joules.
+_BUDGET_EPS = 1e-9
+
+#: Sentinel in ``slot_owner`` for unassigned slots.
+UNASSIGNED = -1
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An assignment of time slots to sensors.
+
+    Attributes
+    ----------
+    slot_owner:
+        ``(T,)`` int array; ``slot_owner[j]`` is the sensor transmitting
+        in slot ``j`` or ``-1``.
+    """
+
+    slot_owner: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.slot_owner, dtype=np.int64)
+        object.__setattr__(self, "slot_owner", arr)
+        arr.flags.writeable = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_slots: int) -> "Allocation":
+        """All slots unassigned."""
+        return cls(np.full(num_slots, UNASSIGNED, dtype=np.int64))
+
+    @classmethod
+    def from_sensor_slots(
+        cls, num_slots: int, sensor_slots: Mapping[int, Iterable[int]]
+    ) -> "Allocation":
+        """Build from ``{sensor: [slots...]}``; raises on double
+        assignment of a slot."""
+        owner = np.full(num_slots, UNASSIGNED, dtype=np.int64)
+        for sensor, slots in sensor_slots.items():
+            for j in slots:
+                if not 0 <= j < num_slots:
+                    raise ValueError(f"slot {j} outside [0, {num_slots - 1}]")
+                if owner[j] != UNASSIGNED:
+                    raise ValueError(
+                        f"slot {j} assigned to both sensor {owner[j]} and {sensor}"
+                    )
+                owner[j] = sensor
+        return cls(owner)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Horizon length ``T``."""
+        return int(self.slot_owner.shape[0])
+
+    def slots_of(self, sensor: int) -> np.ndarray:
+        """Slot indices assigned to ``sensor`` (ascending)."""
+        return np.flatnonzero(self.slot_owner == sensor)
+
+    def sensor_slots(self) -> Dict[int, List[int]]:
+        """``{sensor: [slots...]}`` over assigned slots only."""
+        out: Dict[int, List[int]] = {}
+        for j, owner in enumerate(self.slot_owner):
+            if owner != UNASSIGNED:
+                out.setdefault(int(owner), []).append(j)
+        return out
+
+    def num_assigned(self) -> int:
+        """Number of slots carrying a transmission."""
+        return int(np.count_nonzero(self.slot_owner != UNASSIGNED))
+
+    def merge(self, other: "Allocation", offset: int = 0) -> "Allocation":
+        """Overlay ``other`` (shifted by ``offset`` slots) onto this one.
+
+        Used by the online framework to stitch per-interval schedules
+        into a tour-level allocation.  Overlapping assignments raise.
+        """
+        owner = self.slot_owner.copy()
+        for j_local, s in enumerate(other.slot_owner):
+            if s == UNASSIGNED:
+                continue
+            j = j_local + offset
+            if not 0 <= j < owner.shape[0]:
+                raise ValueError(f"merged slot {j} outside [0, {owner.shape[0] - 1}]")
+            if owner[j] != UNASSIGNED:
+                raise ValueError(f"merge conflict at slot {j}")
+            owner[j] = s
+        return Allocation(owner)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def collected_bits(self, instance: DataCollectionInstance) -> float:
+        """The paper's objective: ``Σ x_{i,j} · r_{i,j} · tau`` in bits."""
+        total = 0.0
+        for j, sensor in enumerate(self.slot_owner):
+            if sensor != UNASSIGNED:
+                total += instance.profit(int(sensor), j)
+        return total
+
+    def energy_spent(self, instance: DataCollectionInstance) -> np.ndarray:
+        """``(n,)`` joules each sensor spends under this allocation."""
+        spent = np.zeros(instance.num_sensors)
+        for j, sensor in enumerate(self.slot_owner):
+            if sensor != UNASSIGNED:
+                spent[int(sensor)] += instance.cost(int(sensor), j)
+        return spent
+
+    def per_sensor_bits(self, instance: DataCollectionInstance) -> np.ndarray:
+        """``(n,)`` bits collected from each sensor (fairness metrics)."""
+        bits = np.zeros(instance.num_sensors)
+        for j, sensor in enumerate(self.slot_owner):
+            if sensor != UNASSIGNED:
+                bits[int(sensor)] += instance.profit(int(sensor), j)
+        return bits
+
+    # ------------------------------------------------------------------
+    # Feasibility (constraints (1)-(4) of Section II.D)
+    # ------------------------------------------------------------------
+    def violations(self, instance: DataCollectionInstance) -> List[str]:
+        """Human-readable list of constraint violations (empty = feasible).
+
+        * shape mismatch with the instance horizon;
+        * a slot assigned to a sensor outside whose window it falls
+          (constraints (1)+(2));
+        * per-sensor energy spent exceeding the budget (constraint (4)).
+
+        Constraint (3) — at most one sensor per slot — holds by
+        construction of the ``slot_owner`` representation.
+        """
+        problems: List[str] = []
+        if self.num_slots != instance.num_slots:
+            problems.append(
+                f"allocation horizon {self.num_slots} != instance horizon {instance.num_slots}"
+            )
+            return problems
+        spent = np.zeros(instance.num_sensors)
+        for j, sensor in enumerate(self.slot_owner):
+            if sensor == UNASSIGNED:
+                continue
+            s = int(sensor)
+            if not 0 <= s < instance.num_sensors:
+                problems.append(f"slot {j}: unknown sensor {s}")
+                continue
+            window = instance.window_of(s)
+            if window is None or j not in window:
+                problems.append(f"slot {j}: outside A(v_{s}) = {window}")
+                continue
+            spent[s] += instance.cost(s, j)
+        for i in range(instance.num_sensors):
+            budget = instance.budget_of(i)
+            if spent[i] > budget + _BUDGET_EPS:
+                problems.append(
+                    f"sensor {i}: energy {spent[i]:.9f} J exceeds budget {budget:.9f} J"
+                )
+        return problems
+
+    def check_feasible(self, instance: DataCollectionInstance) -> None:
+        """Raise ``ValueError`` with the violation list if infeasible."""
+        problems = self.violations(instance)
+        if problems:
+            raise ValueError("infeasible allocation:\n  " + "\n  ".join(problems))
+
+    def is_feasible(self, instance: DataCollectionInstance) -> bool:
+        """True when all constraints hold."""
+        return not self.violations(instance)

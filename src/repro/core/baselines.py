@@ -1,0 +1,123 @@
+"""Baseline allocation heuristics.
+
+The paper compares its algorithms against each other; a credible library
+also ships the "obvious" baselines so users can see what the
+sophistication buys.  All baselines return feasible allocations.
+
+* :func:`greedy_by_profit` — rank all (sensor, slot) pairs by profit and
+  assign greedily (the natural "closest sensor talks" policy).
+* :func:`greedy_by_density` — same but ranked by profit per joule,
+  favouring energy efficiency.
+* :func:`random_allocation` — per slot, pick a uniformly random
+  competitor that can still afford the slot.
+* :func:`round_robin_allocation` — cycle through competitors per slot,
+  a contention-free TDMA-flavoured strawman.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.instance import DataCollectionInstance
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "greedy_by_profit",
+    "greedy_by_density",
+    "random_allocation",
+    "round_robin_allocation",
+]
+
+
+def _all_pairs(instance: DataCollectionInstance) -> List[Tuple[int, int, float, float]]:
+    """Every positive-profit (sensor, slot, profit, cost) tuple."""
+    pairs = []
+    for i, data in enumerate(instance.sensors):
+        if data.window is None:
+            continue
+        slots = data.slot_indices()
+        profits = data.rates * instance.slot_duration
+        costs = data.powers * instance.slot_duration
+        for k in np.flatnonzero(profits > 0):
+            pairs.append((i, int(slots[k]), float(profits[k]), float(costs[k])))
+    return pairs
+
+
+def _greedy(instance: DataCollectionInstance, ranked) -> Allocation:
+    owner = np.full(instance.num_slots, -1, dtype=np.int64)
+    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    for sensor, slot, profit, cost in ranked:
+        if owner[slot] == -1 and cost <= budgets[sensor] + 1e-12:
+            owner[slot] = sensor
+            budgets[sensor] -= cost
+    return Allocation(owner)
+
+
+def greedy_by_profit(instance: DataCollectionInstance) -> Allocation:
+    """Assign pairs in decreasing profit order."""
+    pairs = _all_pairs(instance)
+    pairs.sort(key=lambda rec: (-rec[2], rec[1], rec[0]))
+    return _greedy(instance, pairs)
+
+
+def greedy_by_density(instance: DataCollectionInstance) -> Allocation:
+    """Assign pairs in decreasing profit/cost order (cost-free pairs first)."""
+    pairs = _all_pairs(instance)
+
+    def density(rec: Tuple[int, int, float, float]) -> float:
+        _, _, profit, cost = rec
+        return profit / cost if cost > 0 else np.inf
+
+    pairs.sort(key=lambda rec: (-density(rec), rec[1], rec[0]))
+    return _greedy(instance, pairs)
+
+
+def random_allocation(
+    instance: DataCollectionInstance, seed: SeedLike = None
+) -> Allocation:
+    """Per slot, a uniformly random affordable competitor (or idle)."""
+    rng = as_generator(seed)
+    owner = np.full(instance.num_slots, -1, dtype=np.int64)
+    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    for j in range(instance.num_slots):
+        affordable = [
+            int(i)
+            for i in instance.slot_competitors(j)
+            if instance.profit(int(i), j) > 0
+            and instance.cost(int(i), j) <= budgets[int(i)] + 1e-12
+        ]
+        if affordable:
+            pick = affordable[int(rng.integers(len(affordable)))]
+            owner[j] = pick
+            budgets[pick] -= instance.cost(pick, j)
+    return Allocation(owner)
+
+
+def round_robin_allocation(instance: DataCollectionInstance) -> Allocation:
+    """Rotate the serving sensor among each slot's competitors.
+
+    Keeps a global cursor so consecutive shared slots go to different
+    sensors — the classic fairness-first strawman.
+    """
+    owner = np.full(instance.num_slots, -1, dtype=np.int64)
+    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    cursor = 0
+    for j in range(instance.num_slots):
+        comp = [
+            int(i)
+            for i in instance.slot_competitors(j)
+            if instance.profit(int(i), j) > 0
+        ]
+        if not comp:
+            continue
+        for offset in range(len(comp)):
+            cand = comp[(cursor + offset) % len(comp)]
+            if instance.cost(cand, j) <= budgets[cand] + 1e-12:
+                owner[j] = cand
+                budgets[cand] -= instance.cost(cand, j)
+                cursor += offset + 1
+                break
+    return Allocation(owner)

@@ -1,0 +1,315 @@
+"""The data collection maximization problem instance (Section II.D).
+
+A :class:`DataCollectionInstance` is the pure combinatorial object every
+algorithm consumes:
+
+* ``T`` time slots of duration ``tau``;
+* per sensor ``i``: the consecutive availability window ``A(v_i)``, the
+  per-slot transmission rate ``r_{i,j}`` (bits/s), the per-slot
+  transmission power ``P_{i,j}`` (W), and the tour energy budget
+  ``P(v_i)`` (J).
+
+Derived quantities used throughout: the **profit** of giving slot ``j``
+to sensor ``i`` is ``r_{i,j} · tau`` bits, and its **cost** against the
+sensor's budget is ``P_{i,j} · tau`` joules — exactly the objective and
+constraint (4) of the paper's integer program.
+
+Construction from the physical layers happens in
+:meth:`DataCollectionInstance.from_network`, which derives windows from
+geometry and rates/powers from the radio table in one vectorised pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.network.network import SensorNetwork
+from repro.network.path import SinkTrajectory
+from repro.network.radio import RateTable
+from repro.utils.intervals import SlotInterval
+from repro.utils.validation import check_finite, check_positive
+
+__all__ = ["SensorSlotData", "DataCollectionInstance"]
+
+
+@dataclass(frozen=True)
+class SensorSlotData:
+    """Per-sensor slot data aligned with its availability window.
+
+    ``rates[k]`` / ``powers[k]`` describe slot ``window.start + k``.
+    Arrays are immutable (flags cleared at construction).
+    """
+
+    window: Optional[SlotInterval]
+    rates: np.ndarray  # bits/s, shape (|A|,)
+    powers: np.ndarray  # watts, shape (|A|,)
+    budget: float  # joules
+
+    def __post_init__(self) -> None:
+        size = 0 if self.window is None else len(self.window)
+        if self.rates.shape != (size,) or self.powers.shape != (size,):
+            raise ValueError(
+                f"rates/powers must have shape ({size},); got "
+                f"{self.rates.shape} / {self.powers.shape}"
+            )
+        check_finite(self.rates, "rates")
+        check_finite(self.powers, "powers")
+        if np.any(self.rates < 0) or np.any(self.powers < 0):
+            raise ValueError("rates and powers must be non-negative")
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        self.rates.flags.writeable = False
+        self.powers.flags.writeable = False
+
+    @property
+    def num_slots(self) -> int:
+        """``|A(v_i)|``."""
+        return 0 if self.window is None else len(self.window)
+
+    def slot_indices(self) -> np.ndarray:
+        """Global slot indices of the window (empty when unreachable)."""
+        if self.window is None:
+            return np.zeros(0, dtype=np.int64)
+        return self.window.slots()
+
+    def local_index(self, slot: int) -> int:
+        """Map a global slot index into this sensor's arrays."""
+        if self.window is None or slot not in self.window:
+            raise KeyError(f"slot {slot} not in window {self.window}")
+        return slot - self.window.start
+
+
+class DataCollectionInstance:
+    """An instance of the data collection maximization problem.
+
+    Parameters
+    ----------
+    num_slots:
+        ``T``, slots per tour.
+    slot_duration:
+        ``tau`` in seconds.
+    sensors:
+        One :class:`SensorSlotData` per sensor, index = sensor id.
+    """
+
+    def __init__(
+        self,
+        num_slots: int,
+        slot_duration: float,
+        sensors: Sequence[SensorSlotData],
+    ):
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        check_positive(slot_duration, "slot_duration")
+        for i, s in enumerate(sensors):
+            if s.window is not None and (s.window.start < 0 or s.window.end >= num_slots):
+                raise ValueError(
+                    f"sensor {i} window {s.window} outside [0, {num_slots - 1}]"
+                )
+        self.num_slots = int(num_slots)
+        self.slot_duration = float(slot_duration)
+        self.sensors: Tuple[SensorSlotData, ...] = tuple(sensors)
+        self._competitors: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction from the physical layers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls,
+        network: SensorNetwork,
+        trajectory: SinkTrajectory,
+        rate_table: RateTable,
+        budgets: Union[np.ndarray, Sequence[float]],
+    ) -> "DataCollectionInstance":
+        """Derive the combinatorial instance from physics.
+
+        For every sensor: its window ``A(v)`` comes from the trajectory's
+        coverage geometry with ``R = rate_table.max_range``; for each
+        slot in the window the sensor–sink distance at the slot anchor
+        determines ``r_{i,j}`` and ``P_{i,j}`` via the rate table.
+
+        Notes
+        -----
+        Slots whose anchor distance falls marginally outside ``R`` (the
+        window is computed from continuous coverage, the anchor is a
+        point sample) get rate 0; they stay in the window but no rational
+        algorithm assigns them.
+        """
+        budgets = np.asarray(budgets, dtype=np.float64)
+        if budgets.shape != (network.num_sensors,):
+            raise ValueError(
+                f"budgets must have shape ({network.num_sensors},), got {budgets.shape}"
+            )
+        windows = trajectory.availability(network.positions, rate_table.max_range)
+        sensors: List[SensorSlotData] = []
+        for i, window in enumerate(windows):
+            if window is None:
+                data = SensorSlotData(
+                    None, np.zeros(0), np.zeros(0), float(max(budgets[i], 0.0))
+                )
+            else:
+                slots = window.slots()
+                dists = trajectory.distances_to(network.positions[i], slots)
+                rates = rate_table.rate_at(dists)
+                powers = rate_table.power_at(dists)
+                data = SensorSlotData(
+                    window,
+                    np.asarray(rates, dtype=np.float64),
+                    np.asarray(powers, dtype=np.float64),
+                    float(max(budgets[i], 0.0)),
+                )
+            sensors.append(data)
+        return cls(trajectory.num_slots, trajectory.slot_duration, sensors)
+
+    # ------------------------------------------------------------------
+    # Core quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_sensors(self) -> int:
+        """``n``."""
+        return len(self.sensors)
+
+    def profit(self, sensor: int, slot: int) -> float:
+        """``r_{i,j} · tau`` bits for assigning ``slot`` to ``sensor``."""
+        data = self.sensors[sensor]
+        return float(data.rates[data.local_index(slot)]) * self.slot_duration
+
+    def cost(self, sensor: int, slot: int) -> float:
+        """``P_{i,j} · tau`` joules the assignment charges the budget."""
+        data = self.sensors[sensor]
+        return float(data.powers[data.local_index(slot)]) * self.slot_duration
+
+    def profits_of(self, sensor: int) -> np.ndarray:
+        """Profit array aligned with the sensor's window (bits)."""
+        return self.sensors[sensor].rates * self.slot_duration
+
+    def costs_of(self, sensor: int) -> np.ndarray:
+        """Cost array aligned with the sensor's window (joules)."""
+        return self.sensors[sensor].powers * self.slot_duration
+
+    def budget_of(self, sensor: int) -> float:
+        """``P(v_i)`` joules."""
+        return self.sensors[sensor].budget
+
+    def window_of(self, sensor: int) -> Optional[SlotInterval]:
+        """``A(v_i)`` as a slot interval (``None`` if unreachable)."""
+        return self.sensors[sensor].window
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def slot_competitors(self, slot: int) -> np.ndarray:
+        """Sensor ids whose window contains ``slot`` (ascending)."""
+        return self._competitor_table()[slot]
+
+    def _competitor_table(self) -> List[np.ndarray]:
+        if self._competitors is None:
+            buckets: List[List[int]] = [[] for _ in range(self.num_slots)]
+            for i, s in enumerate(self.sensors):
+                if s.window is not None:
+                    for j in range(s.window.start, s.window.end + 1):
+                        buckets[j].append(i)
+            self._competitors = [np.asarray(b, dtype=np.int64) for b in buckets]
+        return self._competitors
+
+    def sensor_order(self) -> List[int]:
+        """The paper's processing order: ascending start slot, then end
+        slot, ties broken by id (Section IV.A).  Unreachable sensors go
+        last."""
+        def key(i: int):
+            w = self.sensors[i].window
+            if w is None:
+                return (self.num_slots + 1, self.num_slots + 1, i)
+            return (w.start, w.end, i)
+
+        return sorted(range(self.num_sensors), key=key)
+
+    def dense_profit_matrix(self) -> np.ndarray:
+        """The paper's initial profit matrix ``D⁰`` as a dense ``(n, T)``
+        array — ``r_{i,j}·tau`` inside windows, 0 elsewhere.
+
+        Intended for small instances, tests and the LP bound; algorithms
+        use the per-sensor sparse arrays.
+        """
+        dense = np.zeros((self.num_sensors, self.num_slots))
+        for i, s in enumerate(self.sensors):
+            if s.window is not None:
+                dense[i, s.window.start : s.window.end + 1] = s.rates * self.slot_duration
+        return dense
+
+    def restrict(
+        self,
+        interval: SlotInterval,
+        budgets: Optional[np.ndarray] = None,
+        sensor_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple["DataCollectionInstance", List[int]]:
+        """Sub-instance over one probe interval (online scheduling).
+
+        Windows are intersected with ``interval``; sensors whose
+        intersection is empty are dropped.  Slot indices in the
+        sub-instance are re-based so slot 0 is ``interval.start``.
+
+        Parameters
+        ----------
+        interval:
+            The probe interval ``[a_j, b_j]``.
+        budgets:
+            Optional replacement budgets (length ``n`` over the *parent*
+            ids) — used online with residual energy; defaults to the
+            parent budgets.
+        sensor_ids:
+            Restrict to these parent sensors (e.g. the registered set);
+            default all.
+
+        Returns
+        -------
+        (sub_instance, parent_ids):
+            ``parent_ids[k]`` is the parent sensor id of sub-sensor ``k``.
+        """
+        if interval.start < 0 or interval.end >= self.num_slots:
+            raise ValueError(f"interval {interval} outside instance horizon")
+        candidates = range(self.num_sensors) if sensor_ids is None else sensor_ids
+        subs: List[SensorSlotData] = []
+        parents: List[int] = []
+        for i in candidates:
+            data = self.sensors[i]
+            if data.window is None:
+                continue
+            inter = data.window.intersection(interval)
+            if inter is None:
+                continue
+            lo = inter.start - data.window.start
+            hi = inter.end - data.window.start
+            budget = float(budgets[i]) if budgets is not None else data.budget
+            subs.append(
+                SensorSlotData(
+                    inter.shift(-interval.start),
+                    data.rates[lo : hi + 1].copy(),
+                    data.powers[lo : hi + 1].copy(),
+                    max(budget, 0.0),
+                )
+            )
+            parents.append(i)
+        return (
+            DataCollectionInstance(len(interval), self.slot_duration, subs),
+            parents,
+        )
+
+    # ------------------------------------------------------------------
+    def total_available_profit(self) -> float:
+        """Σ over all (sensor, slot) pairs of profit — a trivial upper
+        bound used for sanity checks."""
+        return float(
+            sum(s.rates.sum() for s in self.sensors) * self.slot_duration
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        reachable = sum(1 for s in self.sensors if s.window is not None)
+        return (
+            f"DataCollectionInstance(n={self.num_sensors} ({reachable} reachable), "
+            f"T={self.num_slots}, tau={self.slot_duration})"
+        )

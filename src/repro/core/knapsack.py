@@ -1,0 +1,402 @@
+"""0/1 knapsack solvers.
+
+``Offline_Appro`` reduces the DCMP to a sequence of single-bin packings
+(Section IV): per sensor, choose a subset of its available slots whose
+energy cost fits the budget, maximising residual profit.  Any
+``β``-approximation for knapsack yields a ``1/(1+β)``-approximation for
+the whole problem, so the solver choice is a first-class knob:
+
+* :func:`knapsack_greedy` — density greedy vs best single item, β = 2
+  (solution ≥ OPT/2), ``O(n log n)``;
+* :func:`knapsack_few_weights` — **exact** (β = 1) in
+  ``O(∏ (n_k + 1))`` over the distinct weight classes; the paper's
+  4-level radio table induces ≤ 4 classes, making this the natural
+  default;
+* :func:`knapsack_branch_and_bound` — exact for general weights,
+  best-bound DFS with the fractional relaxation bound;
+* :func:`knapsack_fptas` — Lawler-style profit scaling, β = 1 + ε,
+  matching the paper's ``1/(2+ε)`` overall guarantee.
+
+All solvers accept float profits/weights, ignore items with
+non-positive profit (the local-ratio residuals can go negative), and
+return a :class:`KnapsackResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "KnapsackResult",
+    "knapsack_greedy",
+    "knapsack_few_weights",
+    "knapsack_branch_and_bound",
+    "knapsack_fptas",
+    "solve_knapsack",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackResult:
+    """Outcome of a knapsack solve.
+
+    Attributes
+    ----------
+    selected:
+        Indices of chosen items (into the caller's arrays), ascending.
+    profit / weight:
+        Totals of the selection.
+    """
+
+    selected: Tuple[int, ...]
+    profit: float
+    weight: float
+
+    @classmethod
+    def empty(cls) -> "KnapsackResult":
+        return cls((), 0.0, 0.0)
+
+
+def _clean(
+    profits: np.ndarray, weights: np.ndarray, capacity: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Filter to items worth considering: positive profit, fits alone.
+
+    Returns (indices, profits, weights) over the surviving items.
+    """
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if profits.shape != weights.shape or profits.ndim != 1:
+        raise ValueError(
+            f"profits and weights must be equal-length 1-D, got {profits.shape}/{weights.shape}"
+        )
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    keep = (profits > 0) & (weights <= capacity)
+    idx = np.flatnonzero(keep)
+    return idx, profits[idx], weights[idx]
+
+
+def _result(indices: Sequence[int], profits: np.ndarray, weights: np.ndarray,
+            chosen: Sequence[int]) -> KnapsackResult:
+    """Assemble a result from *local* chosen positions."""
+    chosen = sorted(chosen)
+    sel = tuple(int(indices[k]) for k in chosen)
+    return KnapsackResult(
+        sel,
+        float(sum(profits[k] for k in chosen)),
+        float(sum(weights[k] for k in chosen)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Greedy (beta = 2)
+# ----------------------------------------------------------------------
+def knapsack_greedy(
+    profits: np.ndarray, weights: np.ndarray, capacity: float
+) -> KnapsackResult:
+    """Density greedy with the best-single-item fallback.
+
+    Items are scanned in decreasing profit/weight density, packing every
+    item that still fits; the result is the better of that packing and
+    the single most profitable item.  Guarantees profit ≥ OPT/2.
+    """
+    idx, p, w = _clean(profits, weights, capacity)
+    if idx.size == 0:
+        return KnapsackResult.empty()
+    with np.errstate(divide="ignore"):
+        density = np.where(w > 0, p / np.where(w > 0, w, 1.0), np.inf)
+    order = np.argsort(-density, kind="stable")
+    chosen: List[int] = []
+    remaining = float(capacity)
+    total = 0.0
+    for k in order:
+        if w[k] <= remaining:
+            chosen.append(int(k))
+            remaining -= float(w[k])
+            total += float(p[k])
+    best_single = int(np.argmax(p))
+    if p[best_single] > total:
+        return _result(idx, p, w, [best_single])
+    return _result(idx, p, w, chosen)
+
+
+# ----------------------------------------------------------------------
+# Exact for few distinct weights (beta = 1)
+# ----------------------------------------------------------------------
+def knapsack_few_weights(
+    profits: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    max_combinations: int = 2_000_000,
+) -> KnapsackResult:
+    """Exact solver exploiting few distinct weight values.
+
+    With ``m`` distinct weights, an optimal solution takes the top-``c_k``
+    profits within each weight class for some count vector ``c``.  We
+    enumerate counts over the ``m − 1`` classes with the smallest
+    enumeration footprint and fill the remaining class greedily (taking
+    the maximum affordable count of a single-weight class is always
+    optimal since profits are positive).
+
+    Raises ``ValueError`` if the enumeration would exceed
+    ``max_combinations`` — callers should fall back to branch-and-bound
+    or the FPTAS then (``solve_knapsack`` automates this).
+    """
+    idx, p, w = _clean(profits, weights, capacity)
+    if idx.size == 0:
+        return KnapsackResult.empty()
+
+    classes: List[Tuple[float, np.ndarray, np.ndarray]] = []
+    for weight_value in np.unique(w):
+        members = np.flatnonzero(w == weight_value)
+        order = members[np.argsort(-p[members], kind="stable")]
+        prefix = np.concatenate([[0.0], np.cumsum(p[order])])
+        classes.append((float(weight_value), order, prefix))
+
+    # Zero-weight positive-profit items are free: always take them all.
+    base_profit = 0.0
+    base_chosen: List[int] = []
+    classes_nz = []
+    for weight_value, order, prefix in classes:
+        if weight_value == 0.0:
+            base_profit += float(prefix[-1])
+            base_chosen.extend(int(k) for k in order)
+        else:
+            classes_nz.append((weight_value, order, prefix))
+
+    if not classes_nz:
+        return _result(idx, p, w, base_chosen)
+
+    # Enumerate every class except the one with the most members (the
+    # greedy-filled class), keeping the search space minimal.
+    sizes = [len(order) for _, order, _ in classes_nz]
+    greedy_class = int(np.argmax(sizes))
+    enum_classes = [c for k, c in enumerate(classes_nz) if k != greedy_class]
+    g_weight, g_order, g_prefix = classes_nz[greedy_class]
+
+    # Cap per-class counts by what the budget alone allows, shrinking the
+    # enumeration before it is materialised.
+    limits = [
+        min(len(order), int(capacity / weight_value + 1e-12))
+        for weight_value, order, _ in enum_classes
+    ]
+    combos = int(np.prod([lim + 1 for lim in limits])) if enum_classes else 1
+    if combos > max_combinations:
+        raise ValueError(
+            f"few-weights enumeration too large ({combos} > {max_combinations})"
+        )
+
+    # Vectorised enumeration: one flat axis per enumerated class.
+    if enum_classes:
+        grids = np.meshgrid(
+            *[np.arange(lim + 1, dtype=np.int64) for lim in limits], indexing="ij"
+        )
+        counts_flat = [g.reshape(-1) for g in grids]
+    else:
+        counts_flat = []
+    used_weight = np.zeros(combos)
+    profit_acc = np.full(combos, base_profit)
+    for counts_k, (weight_value, _, prefix) in zip(counts_flat, enum_classes):
+        used_weight += counts_k * weight_value
+        profit_acc += prefix[counts_k]
+    feasible = used_weight <= capacity + 1e-12
+    g_count = np.minimum(
+        len(g_order),
+        np.floor((capacity - used_weight) / g_weight + 1e-12).astype(np.int64),
+    )
+    g_count = np.maximum(g_count, 0)
+    total = np.where(feasible, profit_acc + g_prefix[g_count], -np.inf)
+    best_flat = int(np.argmax(total))
+
+    chosen = list(base_chosen)
+    for counts_k, (_, order, _) in zip(counts_flat, enum_classes):
+        chosen.extend(int(item) for item in order[: int(counts_k[best_flat])])
+    chosen.extend(int(item) for item in g_order[: int(g_count[best_flat])])
+    return _result(idx, p, w, chosen)
+
+
+# ----------------------------------------------------------------------
+# Exact branch-and-bound (beta = 1)
+# ----------------------------------------------------------------------
+def knapsack_branch_and_bound(
+    profits: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    max_nodes: int = 1_000_000,
+) -> KnapsackResult:
+    """Exact depth-first branch-and-bound with the fractional bound.
+
+    Items are explored in density order; a node is pruned when the LP
+    (fractional-knapsack) bound over the remaining suffix cannot beat the
+    incumbent.  ``max_nodes`` caps the search as a safety valve (raises
+    on overflow rather than silently returning a sub-optimal answer).
+    """
+    idx, p, w = _clean(profits, weights, capacity)
+    n = idx.size
+    if n == 0:
+        return KnapsackResult.empty()
+    with np.errstate(divide="ignore"):
+        density = np.where(w > 0, p / np.where(w > 0, w, 1.0), np.inf)
+    order = np.argsort(-density, kind="stable")
+    p_ord = p[order]
+    w_ord = w[order]
+
+    def fractional_bound(start: int, remaining: float) -> float:
+        bound = 0.0
+        for k in range(start, n):
+            if w_ord[k] <= remaining:
+                bound += p_ord[k]
+                remaining -= w_ord[k]
+            else:
+                if w_ord[k] > 0:
+                    bound += p_ord[k] * remaining / w_ord[k]
+                break
+        return bound
+
+    best_profit = -1.0
+    best_set: List[int] = []
+    current: List[int] = []
+    nodes = 0
+
+    def dfs(k: int, remaining: float, profit_acc: float) -> None:
+        nonlocal best_profit, best_set, nodes
+        nodes += 1
+        if nodes > max_nodes:
+            raise RuntimeError(f"branch-and-bound exceeded {max_nodes} nodes")
+        if profit_acc > best_profit:
+            best_profit = profit_acc
+            best_set = current.copy()
+        if k == n:
+            return
+        if profit_acc + fractional_bound(k, remaining) <= best_profit + 1e-12:
+            return
+        if w_ord[k] <= remaining:
+            current.append(k)
+            dfs(k + 1, remaining - w_ord[k], profit_acc + p_ord[k])
+            current.pop()
+        dfs(k + 1, remaining, profit_acc)
+
+    dfs(0, float(capacity), 0.0)
+    chosen = [int(order[k]) for k in best_set]
+    return _result(idx, p, w, chosen)
+
+
+# ----------------------------------------------------------------------
+# FPTAS (beta = 1 + eps)
+# ----------------------------------------------------------------------
+def knapsack_fptas(
+    profits: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    epsilon: float = 0.1,
+) -> KnapsackResult:
+    """Profit-scaling FPTAS (Lawler [13] style), ``profit ≥ OPT/(1+ε)``.
+
+    Profits are scaled by ``K = ε · p_max / n`` and a min-weight-per-
+    scaled-profit DP runs in ``O(n² · ⌈n/ε⌉)`` — the classic trade of a
+    controlled profit loss for weight-independent pseudo-polynomiality.
+    The DP rows are vectorised shifts, so the inner loop is NumPy-speed.
+    """
+    if not 0 < epsilon:
+        raise ValueError(f"epsilon must be > 0, got {epsilon}")
+    idx, p, w = _clean(profits, weights, capacity)
+    n = idx.size
+    if n == 0:
+        return KnapsackResult.empty()
+    p_max = float(p.max())
+    scale = epsilon * p_max / n
+    q = np.floor(p / scale).astype(np.int64)
+    q_total = int(q.sum())
+
+    # min_weight[v] = minimal weight achieving scaled profit exactly v.
+    inf = np.inf
+    min_weight = np.full(q_total + 1, inf)
+    min_weight[0] = 0.0
+    take = np.zeros((n, q_total + 1), dtype=bool)
+    for k in range(n):
+        qk = int(q[k])
+        if qk == 0:
+            # A scaled-to-zero item can still be profitable; handled by a
+            # greedy sweep afterwards.  Skipping keeps the DP exactness.
+            continue
+        shifted = np.full(q_total + 1, inf)
+        shifted[qk:] = min_weight[:-qk] if qk > 0 else min_weight
+        cand = shifted + w[k]
+        better = cand < min_weight
+        take[k] = better
+        np.minimum(min_weight, cand, out=min_weight)
+
+    feasible = np.flatnonzero(min_weight <= capacity + 1e-12)
+    best_v = int(feasible.max())
+
+    # Reconstruct by replaying decisions backwards.
+    chosen: List[int] = []
+    v = best_v
+    for k in range(n - 1, -1, -1):
+        if v > 0 and take[k, v]:
+            chosen.append(k)
+            v -= int(q[k])
+    # v may be nonzero only if reconstruction failed — guard hard.
+    if v != 0:
+        raise AssertionError("FPTAS reconstruction mismatch")
+
+    # Opportunistic improvement: pack scaled-to-zero items (and any other
+    # leftovers) greedily into the remaining capacity.  Never hurts the
+    # guarantee.
+    used = set(chosen)
+    remaining = float(capacity) - float(sum(w[k] for k in chosen))
+    with np.errstate(divide="ignore"):
+        density = np.where(w > 0, p / np.where(w > 0, w, 1.0), np.inf)
+    for k in np.argsort(-density, kind="stable"):
+        k = int(k)
+        if k not in used and w[k] <= remaining:
+            chosen.append(k)
+            used.add(k)
+            remaining -= float(w[k])
+    return _result(idx, p, w, chosen)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def solve_knapsack(
+    profits: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    method: str = "auto",
+    epsilon: float = 0.1,
+) -> KnapsackResult:
+    """Solve a knapsack with the requested ``method``.
+
+    ``method`` ∈ {"auto", "greedy", "few_weights", "branch_and_bound",
+    "fptas"}.  ``auto`` picks the exact few-weights solver when the
+    weight structure allows (the paper's 4-level radio always does),
+    falling back to branch-and-bound for small general instances and the
+    FPTAS otherwise.
+    """
+    if method == "greedy":
+        return knapsack_greedy(profits, weights, capacity)
+    if method == "few_weights":
+        return knapsack_few_weights(profits, weights, capacity)
+    if method == "branch_and_bound":
+        return knapsack_branch_and_bound(profits, weights, capacity)
+    if method == "fptas":
+        return knapsack_fptas(profits, weights, capacity, epsilon=epsilon)
+    if method != "auto":
+        raise ValueError(f"unknown knapsack method {method!r}")
+
+    try:
+        return knapsack_few_weights(profits, weights, capacity, max_combinations=200_000)
+    except ValueError:
+        pass
+    if np.asarray(profits).size <= 48:
+        try:
+            return knapsack_branch_and_bound(profits, weights, capacity, max_nodes=200_000)
+        except RuntimeError:
+            pass
+    return knapsack_fptas(profits, weights, capacity, epsilon=epsilon)

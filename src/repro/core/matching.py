@@ -1,0 +1,241 @@
+"""Maximum-weight bipartite b-matching.
+
+The special-case algorithms of Section VI reduce time-slot allocation to
+a maximum-weight matching in a bipartite graph whose left nodes are
+*copies* of registered sensors (``n_i'`` copies each) and whose right
+nodes are time slots.  Copies of one sensor are interchangeable, so the
+problem is really a **b-matching**: left node ``i`` may be matched to up
+to ``c_i`` right nodes, every right node to at most one left node,
+maximising total edge weight.
+
+Three interchangeable engines (cross-validated in the test suite):
+
+* ``"flow"`` — our own min-cost flow (:mod:`repro.core.mcmf`) on the
+  compact graph (no copies), stopping at the first non-improving
+  augmenting path.  Exact; the reference implementation.
+* ``"lsa"`` — expand copies and call
+  :func:`scipy.optimize.linear_sum_assignment` on a dense rectangular
+  matrix (0-weight for non-edges).  Exact; fastest for small/medium
+  instances.
+* ``"lp"`` — the b-matching LP solved with HiGHS dual simplex.  The
+  constraint matrix is totally unimodular, so the vertex optimum is
+  integral.  Exact; scales to the full offline tour-sized instances.
+
+The online per-interval matchings are tiny (tens of nodes) and use the
+flow engine; the offline whole-tour matching defaults to ``"lp"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mcmf import MinCostFlow
+
+__all__ = ["MatchingResult", "max_weight_b_matching"]
+
+Engine = Literal["flow", "lsa", "lp", "auction", "auto"]
+
+#: Edges below this weight are dropped (they cannot improve the matching).
+_WEIGHT_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """A b-matching: ``pairs[k] = (left, right)`` plus the total weight."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+    weight: float
+
+    def right_of(self, num_right: int) -> np.ndarray:
+        """``(num_right,)`` array mapping right node → left node or -1."""
+        out = np.full(num_right, -1, dtype=np.int64)
+        for left, right in self.pairs:
+            out[right] = left
+        return out
+
+
+def _check_inputs(
+    edges: Sequence[Tuple[int, int, float]],
+    left_capacities: Sequence[int],
+    num_right: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    caps = np.asarray(left_capacities, dtype=np.int64)
+    if caps.ndim != 1:
+        raise ValueError("left_capacities must be 1-D")
+    if np.any(caps < 0):
+        raise ValueError("left capacities must be >= 0")
+    if num_right < 0:
+        raise ValueError("num_right must be >= 0")
+    if len(edges) == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0), caps
+    arr = np.asarray([(u, v, w) for (u, v, w) in edges], dtype=np.float64)
+    u = arr[:, 0].astype(np.int64)
+    v = arr[:, 1].astype(np.int64)
+    w = arr[:, 2]
+    if np.any(u < 0) or np.any(u >= caps.size):
+        raise ValueError("edge left endpoint out of range")
+    if np.any(v < 0) or np.any(v >= num_right):
+        raise ValueError("edge right endpoint out of range")
+    if not np.all(np.isfinite(w)):
+        raise ValueError("edge weights must be finite")
+    return u, v, w, caps
+
+
+def max_weight_b_matching(
+    edges: Sequence[Tuple[int, int, float]],
+    left_capacities: Sequence[int],
+    num_right: int,
+    engine: Engine = "auto",
+) -> MatchingResult:
+    """Compute a maximum-weight bipartite b-matching.
+
+    Parameters
+    ----------
+    edges:
+        ``(left, right, weight)`` triples.  Non-positive-weight edges are
+        ignored (they never help a *maximum*-weight matching).  Parallel
+        edges are allowed; only the heaviest parallel edge can matter.
+    left_capacities:
+        ``c_i`` per left node (the paper's ``n_i'`` copy counts).
+    num_right:
+        Number of right nodes (time slots).
+    engine:
+        ``"flow"``, ``"lsa"``, ``"lp"`` or ``"auto"`` (size-based choice).
+
+    Returns
+    -------
+    MatchingResult
+        Optimal matching; every right node appears at most once and left
+        node ``i`` appears at most ``c_i`` times.
+    """
+    u, v, w, caps = _check_inputs(edges, left_capacities, num_right)
+    keep = w > _WEIGHT_EPS
+    u, v, w = u[keep], v[keep], w[keep]
+    if u.size == 0:
+        return MatchingResult((), 0.0)
+
+    # Deduplicate parallel edges, keeping the heaviest.
+    key = u * np.int64(num_right) + v
+    order = np.lexsort((-w, key))
+    key_sorted = key[order]
+    first = np.ones(order.size, dtype=bool)
+    first[1:] = key_sorted[1:] != key_sorted[:-1]
+    sel = order[first]
+    u, v, w = u[sel], v[sel], w[sel]
+
+    if engine == "auto":
+        engine = "flow" if u.size <= 4000 else "lp"
+    if engine == "flow":
+        return _solve_flow(u, v, w, caps, num_right)
+    if engine == "lsa":
+        return _solve_lsa(u, v, w, caps, num_right)
+    if engine == "lp":
+        return _solve_lp(u, v, w, caps, num_right)
+    if engine == "auction":
+        # ε-optimal (see repro.core.auction); kept out of "auto".
+        from repro.core.auction import auction_b_matching
+
+        return auction_b_matching(list(zip(u, v, w)), caps, num_right)
+    raise ValueError(f"unknown matching engine {engine!r}")
+
+
+# ----------------------------------------------------------------------
+def _solve_flow(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, caps: np.ndarray, num_right: int
+) -> MatchingResult:
+    """Compact min-cost flow: source → left (cap c_i) → right (cap 1) → sink."""
+    num_left = caps.size
+    source = num_left + num_right
+    sink = source + 1
+    net = MinCostFlow(sink + 1)
+    for i in range(num_left):
+        if caps[i] > 0:
+            net.add_edge(source, i, float(caps[i]), 0.0)
+    edge_ids = np.empty(u.size, dtype=np.int64)
+    for k in range(u.size):
+        edge_ids[k] = net.add_edge(int(u[k]), num_left + int(v[k]), 1.0, -float(w[k]))
+    for j in range(num_right):
+        net.add_edge(num_left + j, sink, 1.0, 0.0)
+    _, cost = net.solve(source, sink, only_negative_paths=True)
+    pairs = []
+    weight = 0.0
+    for k in range(u.size):
+        if net.flow_on(int(edge_ids[k])) > 0.5:
+            pairs.append((int(u[k]), int(v[k])))
+            weight += float(w[k])
+    return MatchingResult(tuple(sorted(pairs)), weight)
+
+
+def _solve_lsa(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, caps: np.ndarray, num_right: int
+) -> MatchingResult:
+    """Expand left copies and run the Jonker–Volgenant assignment."""
+    from scipy.optimize import linear_sum_assignment
+
+    # A left node never needs more copies than it has incident edges.
+    degree = np.bincount(u, minlength=caps.size)
+    eff_caps = np.minimum(caps, degree)
+    total_copies = int(eff_caps.sum())
+    if total_copies == 0:
+        return MatchingResult((), 0.0)
+    if total_copies * num_right > 50_000_000:
+        raise MemoryError(
+            f"lsa engine would allocate a {total_copies}x{num_right} dense matrix; "
+            "use engine='lp' or 'flow'"
+        )
+    copy_owner = np.repeat(np.arange(caps.size), eff_caps)
+    first_copy = np.zeros(caps.size, dtype=np.int64)
+    first_copy[1:] = np.cumsum(eff_caps)[:-1]
+    dense = np.zeros((total_copies, num_right))
+    for k in range(u.size):
+        i = int(u[k])
+        for c in range(int(eff_caps[i])):
+            dense[first_copy[i] + c, int(v[k])] = w[k]
+    rows, cols = linear_sum_assignment(dense, maximize=True)
+    pairs = []
+    weight = 0.0
+    for r, c in zip(rows, cols):
+        if dense[r, c] > _WEIGHT_EPS:
+            pairs.append((int(copy_owner[r]), int(c)))
+            weight += float(dense[r, c])
+    return MatchingResult(tuple(sorted(pairs)), weight)
+
+
+def _solve_lp(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, caps: np.ndarray, num_right: int
+) -> MatchingResult:
+    """HiGHS dual simplex on the (totally unimodular) b-matching LP."""
+    from scipy.optimize import linprog
+    from scipy.sparse import coo_matrix
+
+    num_left = caps.size
+    num_edges = u.size
+    # Constraints: per-right <= 1, per-left <= c_i.
+    rows = np.concatenate([v, num_right + u])
+    cols = np.concatenate([np.arange(num_edges), np.arange(num_edges)])
+    data = np.ones(2 * num_edges)
+    a_ub = coo_matrix(
+        (data, (rows, cols)), shape=(num_right + num_left, num_edges)
+    ).tocsr()
+    b_ub = np.concatenate([np.ones(num_right), caps.astype(np.float64)])
+    res = linprog(
+        c=-w,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=(0.0, 1.0),
+        method="highs-ds",
+    )
+    if not res.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"b-matching LP failed: {res.message}")
+    x = res.x
+    chosen = x > 0.5
+    # Vertex solutions of a TU polytope are integral; verify anyway.
+    frac = np.abs(x - np.round(x)).max() if x.size else 0.0
+    if frac > 1e-6:  # pragma: no cover - defensive
+        raise RuntimeError(f"LP returned a fractional vertex (max frac {frac:.2e})")
+    pairs = [(int(u[k]), int(v[k])) for k in np.flatnonzero(chosen)]
+    weight = float(w[chosen].sum())
+    return MatchingResult(tuple(sorted(pairs)), weight)

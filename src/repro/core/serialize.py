@@ -1,0 +1,102 @@
+"""JSON (de)serialisation of instances and allocations.
+
+Reproducibility plumbing: an experiment can persist the exact
+combinatorial instance it solved (and the allocation it obtained) as
+plain JSON, so a result can be re-verified later — on another machine,
+against another solver — without regenerating the topology.
+
+The format is versioned and deliberately boring: lists of numbers, no
+pickling, no NumPy dtypes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.instance import DataCollectionInstance, SensorSlotData
+from repro.utils.intervals import SlotInterval
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "instance_to_json",
+    "instance_from_json",
+    "allocation_to_dict",
+    "allocation_from_dict",
+]
+
+#: Format version stamped into every document.
+FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: DataCollectionInstance) -> Dict[str, Any]:
+    """Lossless plain-dict form of an instance."""
+    sensors = []
+    for data in instance.sensors:
+        sensors.append(
+            {
+                "window": None if data.window is None else [data.window.start, data.window.end],
+                "rates": data.rates.tolist(),
+                "powers": data.powers.tolist(),
+                "budget": data.budget,
+            }
+        )
+    return {
+        "format": "repro.dcmp_instance",
+        "version": FORMAT_VERSION,
+        "num_slots": instance.num_slots,
+        "slot_duration": instance.slot_duration,
+        "sensors": sensors,
+    }
+
+
+def instance_from_dict(doc: Dict[str, Any]) -> DataCollectionInstance:
+    """Inverse of :func:`instance_to_dict` (validates the envelope)."""
+    if doc.get("format") != "repro.dcmp_instance":
+        raise ValueError(f"not a DCMP instance document: format={doc.get('format')!r}")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    sensors = []
+    for s in doc["sensors"]:
+        window = None if s["window"] is None else SlotInterval(*s["window"])
+        sensors.append(
+            SensorSlotData(
+                window,
+                np.asarray(s["rates"], dtype=np.float64),
+                np.asarray(s["powers"], dtype=np.float64),
+                float(s["budget"]),
+            )
+        )
+    return DataCollectionInstance(int(doc["num_slots"]), float(doc["slot_duration"]), sensors)
+
+
+def instance_to_json(instance: DataCollectionInstance, indent: Optional[int] = None) -> str:
+    """JSON string form of an instance."""
+    return json.dumps(instance_to_dict(instance), indent=indent)
+
+
+def instance_from_json(text: str) -> DataCollectionInstance:
+    """Parse an instance from its JSON form."""
+    return instance_from_dict(json.loads(text))
+
+
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    """Plain-dict form of an allocation."""
+    return {
+        "format": "repro.allocation",
+        "version": FORMAT_VERSION,
+        "slot_owner": allocation.slot_owner.tolist(),
+    }
+
+
+def allocation_from_dict(doc: Dict[str, Any]) -> Allocation:
+    """Inverse of :func:`allocation_to_dict`."""
+    if doc.get("format") != "repro.allocation":
+        raise ValueError(f"not an allocation document: format={doc.get('format')!r}")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    return Allocation(np.asarray(doc["slot_owner"], dtype=np.int64))

@@ -1,0 +1,110 @@
+"""Battery: bounded energy storage with conservation accounting.
+
+Implements ``P_j = min(P_{j-1} + Q_{j-1} - O_{j-1}, B)`` from Section
+II.B.  Deposits clip at capacity (the surplus is *spilled* — real
+harvesting systems waste energy once the store is full), withdrawals may
+never exceed the stored charge.  Cumulative counters make the
+conservation law checkable in tests.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["Battery"]
+
+#: Absolute tolerance for floating-point charge comparisons (joules).
+_EPS = 1e-9
+
+
+class Battery:
+    """Bounded energy store measured in joules.
+
+    Parameters
+    ----------
+    capacity:
+        Storage capacity ``B(v)`` in joules (paper default: 10,000 J).
+    initial_charge:
+        Energy stored at construction, ``0 <= initial_charge <= capacity``.
+    """
+
+    __slots__ = ("_capacity", "_charge", "_deposited", "_spilled", "_withdrawn")
+
+    def __init__(self, capacity: float, initial_charge: float = 0.0):
+        self._capacity = check_positive(capacity, "capacity")
+        check_nonnegative(initial_charge, "initial_charge")
+        if initial_charge > capacity + _EPS:
+            raise ValueError(
+                f"initial_charge {initial_charge} exceeds capacity {capacity}"
+            )
+        self._charge = min(float(initial_charge), self._capacity)
+        self._deposited = 0.0
+        self._spilled = 0.0
+        self._withdrawn = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        """Capacity ``B`` in joules."""
+        return self._capacity
+
+    @property
+    def charge(self) -> float:
+        """Currently stored energy in joules."""
+        return self._charge
+
+    @property
+    def headroom(self) -> float:
+        """Remaining storable energy, ``capacity - charge``."""
+        return self._capacity - self._charge
+
+    @property
+    def total_deposited(self) -> float:
+        """Cumulative energy offered to the battery (including spill)."""
+        return self._deposited
+
+    @property
+    def total_spilled(self) -> float:
+        """Cumulative energy lost to capacity clipping."""
+        return self._spilled
+
+    @property
+    def total_withdrawn(self) -> float:
+        """Cumulative energy drawn from the battery."""
+        return self._withdrawn
+
+    # ------------------------------------------------------------------
+    def deposit(self, energy: float) -> float:
+        """Add harvested ``energy`` (J); returns the amount actually stored.
+
+        The surplus beyond capacity is spilled, mirroring
+        ``min(..., B(v))`` in the paper's recurrence.
+        """
+        energy = check_nonnegative(energy, "energy")
+        stored = min(energy, self.headroom)
+        self._charge += stored
+        self._deposited += energy
+        self._spilled += energy - stored
+        return stored
+
+    def withdraw(self, energy: float) -> None:
+        """Draw ``energy`` (J); raises if the charge is insufficient."""
+        energy = check_nonnegative(energy, "energy")
+        if energy > self._charge + _EPS:
+            raise ValueError(
+                f"withdraw {energy:.6f} J exceeds stored charge {self._charge:.6f} J"
+            )
+        self._charge = max(self._charge - energy, 0.0)
+        self._withdrawn += energy
+
+    def can_afford(self, energy: float) -> bool:
+        """True when ``energy`` joules can be withdrawn right now."""
+        return energy <= self._charge + _EPS
+
+    def copy(self) -> "Battery":
+        """An independent battery with the same capacity and charge
+        (counters reset — copies are for what-if runs)."""
+        return Battery(self._capacity, self._charge)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Battery(charge={self._charge:.2f}/{self._capacity:.0f} J)"

@@ -1,0 +1,66 @@
+"""Per-tour energy budget policies.
+
+The paper uses the stored energy at the start of tour ``j`` directly as
+the tour's budget ``P(v)`` ("we use P_j(v) as the energy budget of
+sensor v for tour j").  We implement that policy plus two conservative
+alternatives that appear in the energy-harvesting literature and are
+useful for ablations:
+
+* :class:`FractionBudgetPolicy` — spend at most a fixed fraction of the
+  store per tour (smooths consumption, protects against harvest droughts);
+* :class:`CappedBudgetPolicy` — spend at most a fixed number of joules
+  per tour.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.energy.battery import Battery
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "BudgetPolicy",
+    "StoredEnergyBudgetPolicy",
+    "FractionBudgetPolicy",
+    "CappedBudgetPolicy",
+]
+
+
+@runtime_checkable
+class BudgetPolicy(Protocol):
+    """Maps battery state to the per-tour transmission energy budget."""
+
+    def budget(self, battery: Battery, tour_index: int) -> float:
+        """Energy (J) the sensor may spend on transmissions this tour."""
+        ...
+
+
+class StoredEnergyBudgetPolicy:
+    """The paper's policy: the whole current store is the budget."""
+
+    def budget(self, battery: Battery, tour_index: int) -> float:
+        """``P(v) = P_j(v)`` — everything currently stored."""
+        return battery.charge
+
+
+class FractionBudgetPolicy:
+    """Budget = a fixed fraction of the current store."""
+
+    def __init__(self, fraction: float):
+        self.fraction = check_in_range(fraction, "fraction", 0.0, 1.0)
+
+    def budget(self, battery: Battery, tour_index: int) -> float:
+        """``P(v) = fraction · P_j(v)``."""
+        return self.fraction * battery.charge
+
+
+class CappedBudgetPolicy:
+    """Budget = min(store, fixed cap in joules)."""
+
+    def __init__(self, cap_joules: float):
+        self.cap_joules = check_positive(cap_joules, "cap_joules")
+
+    def budget(self, battery: Battery, tour_index: int) -> float:
+        """``P(v) = min(P_j(v), cap)``."""
+        return min(battery.charge, self.cap_joules)

@@ -1,0 +1,71 @@
+"""Ablation A4 as a first-class experiment: probe-interval length Γ.
+
+Sweeps Γ from the paper's ``Γ* = ⌊R/(r_s·τ)⌋`` down to ``Γ*/8`` for the
+online algorithms, pairing topologies across Γ values.  Expected
+outcome (and what the benchmark asserts): Γ* dominates — smaller
+intervals multiply probe traffic *and* lose throughput to extra probe
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.report import format_series_chart, format_series_table
+from repro.experiments.sweep import SweepPoint, SweepResult, run_sweep
+from repro.sim.scenario import ScenarioConfig
+
+__all__ = ["DIVISORS", "SIZES", "build_points", "run", "report"]
+
+#: Γ = Γ*/divisor per series.
+DIVISORS: Tuple[int, ...] = (1, 2, 4, 8)
+
+SIZES: Tuple[int, ...] = (100, 300, 600)
+
+ALGORITHMS: Tuple[str, ...] = ("Online_Appro",)
+
+#: The paper's Γ* for the default radio/speed/τ (200 m, 5 m/s, 1 s).
+GAMMA_STAR: int = 40
+
+
+def build_points(
+    sizes: Sequence[int] = SIZES,
+    divisors: Sequence[int] = DIVISORS,
+) -> List[SweepPoint]:
+    """The sweep grid: one panel per Γ value."""
+    points = []
+    for n in sizes:
+        for divisor in divisors:
+            gamma = max(1, GAMMA_STAR // divisor)
+            config = ScenarioConfig(num_sensors=n, gamma_override=gamma)
+            points.append(
+                SweepPoint.make(
+                    config,
+                    ALGORITHMS,
+                    seed_key=(n,),  # pair topologies across gammas
+                    panel=f"gamma={gamma}" + (" (paper)" if divisor == 1 else f" (G*/{divisor})"),
+                    n=n,
+                )
+            )
+    return points
+
+
+def run(
+    repeats: int = 50,
+    sizes: Sequence[int] = SIZES,
+    divisors: Sequence[int] = DIVISORS,
+    jobs: Optional[int] = None,
+    root_seed: int = 2013_44,
+) -> SweepResult:
+    """Execute the Γ ablation sweep."""
+    return run_sweep(build_points(sizes, divisors), repeats=repeats, jobs=jobs, root_seed=root_seed)
+
+
+def report(result: SweepResult) -> str:
+    """Series tables + charts, plus the message counts."""
+    return (
+        "Ablation A4 — probe-interval length gamma (Online_Appro)\n\n"
+        + format_series_table(result)
+        + "\n"
+        + format_series_table(result, value="total_messages", unit="msgs")
+    )

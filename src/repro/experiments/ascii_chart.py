@@ -1,0 +1,111 @@
+"""ASCII line charts for figure reports.
+
+The paper's results are line charts; a terminal-only reproduction still
+benefits from *seeing* the curves, not just tables.  This renders
+multiple series on a shared y-axis with unicode-free characters so the
+output survives any log pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_chart"]
+
+#: Plot glyph per series, cycled.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named series over shared ``x`` values as an ASCII chart.
+
+    Parameters
+    ----------
+    x:
+        Common x coordinates (ascending).
+    series:
+        ``{name: y values}``, each aligned with ``x``.
+    width / height:
+        Plot area size in characters.
+    y_label / x_label:
+        Axis captions.
+
+    Returns
+    -------
+    str
+        The rendered chart including a legend mapping glyphs to names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    x_arr = np.asarray(x, dtype=np.float64)
+    if x_arr.ndim != 1 or x_arr.size == 0:
+        raise ValueError("x must be a non-empty 1-D sequence")
+    if np.any(np.diff(x_arr) < 0):
+        raise ValueError("x must be ascending")
+    for name, ys in series.items():
+        if len(ys) != x_arr.size:
+            raise ValueError(f"series {name!r} length {len(ys)} != len(x) {x_arr.size}")
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+
+    all_y = np.concatenate([np.asarray(ys, dtype=np.float64) for ys in series.values()])
+    y_min = float(all_y.min())
+    y_max = float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_arr[0]), float(x_arr[-1])
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(xv: float) -> int:
+        return int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row_of(yv: float) -> int:
+        frac = (yv - y_min) / (y_max - y_min)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    for k, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[k % len(_GLYPHS)]
+        cols = [col_of(float(xv)) for xv in x_arr]
+        rows = [row_of(float(yv)) for yv in ys]
+        # Connect consecutive points with interpolated dots.
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = c0 + (c1 - c0) * s // steps
+                r = r0 + (r1 - r0) * s // steps
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in zip(cols, rows):
+            grid[r][c] = glyph
+
+    y_ticks = {0: y_max, height - 1: y_min, (height - 1) // 2: (y_max + y_min) / 2}
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for r in range(height):
+        tick = f"{y_ticks[r]:10.2f} |" if r in y_ticks else " " * 10 + " |"
+        lines.append(tick + "".join(grid[r]))
+    lines.append(" " * 11 + "+" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 12 + left + " " * max(pad, 1) + right)
+    if x_label:
+        lines.append(" " * 12 + x_label.center(width))
+    legend = "   ".join(
+        f"{_GLYPHS[k % len(_GLYPHS)]} {name}" for k, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Network substrate: geometry, sink trajectory, radio model, deployment.
+
+This subpackage builds everything the paper's system model (Section II.A)
+needs: the pre-defined path, the mobile sink's position per time slot,
+sensor deployments along a highway, and the multi-rate radio table
+(Section II.C).
+"""
+
+from repro.network.geometry import LinearPath, PiecewiseLinearPath, Point
+from repro.network.path import SinkTrajectory
+from repro.network.radio import (
+    CC2420_LIKE_TABLE,
+    FixedPowerTable,
+    PathLossRateModel,
+    RateLevel,
+    RateTable,
+)
+from repro.network.sensor import Sensor
+from repro.network.coverage import CoverageReport, analyze_coverage
+from repro.network.variable_speed import (
+    SpeedProfile,
+    VariableSpeedTrajectory,
+    density_speed_profile,
+)
+from repro.network.deployment import (
+    clustered_deployment,
+    poisson_deployment,
+    uniform_deployment,
+)
+from repro.network.network import SensorNetwork
+
+__all__ = [
+    "Point",
+    "LinearPath",
+    "PiecewiseLinearPath",
+    "SinkTrajectory",
+    "RateLevel",
+    "RateTable",
+    "FixedPowerTable",
+    "PathLossRateModel",
+    "CC2420_LIKE_TABLE",
+    "Sensor",
+    "uniform_deployment",
+    "poisson_deployment",
+    "clustered_deployment",
+    "SensorNetwork",
+    "CoverageReport",
+    "analyze_coverage",
+    "SpeedProfile",
+    "VariableSpeedTrajectory",
+    "density_speed_profile",
+]

@@ -1,0 +1,212 @@
+"""Planar geometry for the pre-defined sink path.
+
+The paper assumes the pre-defined path is a straight line "which can be
+easily extended to real scenarios"; we implement both the straight line
+(:class:`LinearPath`) and the extension (:class:`PiecewiseLinearPath`)
+so the library covers real road geometries too.
+
+A path is parameterised by **arc length** ``s ∈ [0, length]``.  The sink's
+travel converts time to arc length; geometry converts arc length to a
+planar point.  All bulk operations are vectorised over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["Point", "LinearPath", "PiecewiseLinearPath"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable planar point (metres)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def as_array(self) -> np.ndarray:
+        """``(2,)`` float array view of the point."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+
+class LinearPath:
+    """A straight-line path along the x-axis from ``(0, 0)`` to ``(length, 0)``.
+
+    This is the paper's default highway geometry: sensors sit at
+    ``(x, y)`` with ``|y|`` bounded by the deployment's lateral offset,
+    and the sink drives from arc length 0 to ``length``.
+    """
+
+    def __init__(self, length: float):
+        self._length = check_positive(length, "length")
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the path in metres."""
+        return self._length
+
+    def point_at(self, arc: Union[float, np.ndarray]) -> np.ndarray:
+        """Planar point(s) at arc length ``arc``.
+
+        Parameters
+        ----------
+        arc:
+            Scalar or array of arc lengths; values are clipped to
+            ``[0, length]`` (the sink never leaves the path).
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(2,)`` for scalar input, ``(k, 2)`` for array input.
+        """
+        arc_arr = np.clip(np.asarray(arc, dtype=np.float64), 0.0, self._length)
+        if arc_arr.ndim == 0:
+            return np.array([float(arc_arr), 0.0])
+        out = np.zeros(arc_arr.shape + (2,), dtype=np.float64)
+        out[..., 0] = arc_arr
+        return out
+
+    def distance_from(self, xy: np.ndarray, arc: Union[float, np.ndarray]) -> np.ndarray:
+        """Distance between point(s) ``xy`` and the path point at ``arc``.
+
+        ``xy`` has shape ``(2,)`` or ``(n, 2)``; ``arc`` is scalar or
+        ``(k,)``.  Broadcasting follows NumPy rules over the leading axes:
+        ``(n, 2)`` against ``(k,)`` yields ``(n, k)``.
+        """
+        xy = np.asarray(xy, dtype=np.float64)
+        pts = self.point_at(arc)  # (2,) or (k, 2)
+        if xy.ndim == 1 and pts.ndim == 1:
+            return np.hypot(xy[0] - pts[0], xy[1] - pts[1])
+        if xy.ndim == 1:
+            return np.hypot(xy[0] - pts[..., 0], xy[1] - pts[..., 1])
+        if pts.ndim == 1:
+            return np.hypot(xy[:, 0] - pts[0], xy[:, 1] - pts[1])
+        return np.hypot(
+            xy[:, None, 0] - pts[None, :, 0],
+            xy[:, None, 1] - pts[None, :, 1],
+        )
+
+    def coverage_window(self, xy: np.ndarray, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Arc-length window in which the path is within ``radius`` of ``xy``.
+
+        For the straight line this is the chord
+        ``[x - w, x + w]`` with ``w = sqrt(radius² − y²)`` clipped to the
+        path, the quantity the paper uses to derive ``A(v)``.
+
+        Parameters
+        ----------
+        xy:
+            ``(2,)`` or ``(n, 2)`` sensor coordinates.
+        radius:
+            Transmission range ``R`` in metres.
+
+        Returns
+        -------
+        (lo, hi):
+            Arrays of arc lengths.  Where the point is farther than
+            ``radius`` from the line, ``lo > hi`` (empty window).
+        """
+        check_positive(radius, "radius")
+        xy = np.atleast_2d(np.asarray(xy, dtype=np.float64))
+        lateral = np.abs(xy[:, 1])
+        half = np.sqrt(np.maximum(radius**2 - lateral**2, 0.0))
+        reachable = lateral <= radius
+        lo = np.where(reachable, np.clip(xy[:, 0] - half, 0.0, self._length), 1.0)
+        hi = np.where(reachable, np.clip(xy[:, 0] + half, 0.0, self._length), 0.0)
+        # A point whose chord misses the [0, L] segment entirely is also
+        # unreachable even if |y| <= radius.
+        beyond = reachable & ((xy[:, 0] + half < 0.0) | (xy[:, 0] - half > self._length))
+        lo = np.where(beyond, 1.0, lo)
+        hi = np.where(beyond, 0.0, hi)
+        return lo, hi
+
+
+class PiecewiseLinearPath:
+    """A polyline path through a sequence of waypoints.
+
+    Provided as the "real scenario" extension the paper mentions.  The
+    parameterisation is arc length along the polyline; queries locate the
+    containing segment via ``searchsorted`` so bulk evaluation stays
+    vectorised.
+    """
+
+    def __init__(self, waypoints: Sequence[Tuple[float, float]]):
+        pts = np.asarray(waypoints, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[0] < 2 or pts.shape[1] != 2:
+            raise ValueError("waypoints must be an (m>=2, 2) sequence of points")
+        seg = np.diff(pts, axis=0)
+        seg_len = np.hypot(seg[:, 0], seg[:, 1])
+        if np.any(seg_len <= 0):
+            raise ValueError("consecutive waypoints must be distinct")
+        self._pts = pts
+        self._seg = seg
+        self._seg_len = seg_len
+        self._cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the polyline."""
+        return float(self._cum[-1])
+
+    @property
+    def waypoints(self) -> np.ndarray:
+        """Copy of the waypoint array, shape ``(m, 2)``."""
+        return self._pts.copy()
+
+    def point_at(self, arc: Union[float, np.ndarray]) -> np.ndarray:
+        """Planar point(s) at arc length ``arc`` (clipped to the path)."""
+        arc_arr = np.clip(np.asarray(arc, dtype=np.float64), 0.0, self.length)
+        scalar = arc_arr.ndim == 0
+        arc_arr = np.atleast_1d(arc_arr)
+        idx = np.clip(np.searchsorted(self._cum, arc_arr, side="right") - 1, 0, len(self._seg_len) - 1)
+        frac = (arc_arr - self._cum[idx]) / self._seg_len[idx]
+        out = self._pts[idx] + frac[:, None] * self._seg[idx]
+        return out[0] if scalar else out
+
+    def distance_from(self, xy: np.ndarray, arc: Union[float, np.ndarray]) -> np.ndarray:
+        """Distance between ``xy`` and the path point(s) at ``arc``."""
+        xy = np.asarray(xy, dtype=np.float64)
+        pts = self.point_at(arc)
+        if xy.ndim == 1 and pts.ndim == 1:
+            return np.hypot(xy[0] - pts[0], xy[1] - pts[1])
+        if xy.ndim == 1:
+            return np.hypot(xy[0] - pts[..., 0], xy[1] - pts[..., 1])
+        if pts.ndim == 1:
+            return np.hypot(xy[:, 0] - pts[0], xy[:, 1] - pts[1])
+        return np.hypot(
+            xy[:, None, 0] - pts[None, :, 0],
+            xy[:, None, 1] - pts[None, :, 1],
+        )
+
+    def coverage_window(self, xy: np.ndarray, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate arc-length coverage window for each point in ``xy``.
+
+        Unlike the straight line, a polyline may be within range over a
+        non-contiguous arc set; the paper's model assumes consecutive
+        windows, so we return the *tightest enclosing* window (first to
+        last in-range sample) computed on a fine arc grid.  For gentle
+        road curvature the window is exact.
+        """
+        check_positive(radius, "radius")
+        xy = np.atleast_2d(np.asarray(xy, dtype=np.float64))
+        # Sample the path at ~0.5 m resolution, bounded for memory.
+        samples = min(int(self.length * 2) + 2, 200_001)
+        grid = np.linspace(0.0, self.length, samples)
+        pts = self.point_at(grid)  # (k, 2)
+        d = np.hypot(xy[:, None, 0] - pts[None, :, 0], xy[:, None, 1] - pts[None, :, 1])
+        within = d <= radius
+        any_within = within.any(axis=1)
+        first = np.argmax(within, axis=1)
+        last = samples - 1 - np.argmax(within[:, ::-1], axis=1)
+        lo = np.where(any_within, grid[first], 1.0)
+        hi = np.where(any_within, grid[last], 0.0)
+        return lo, hi

@@ -1,0 +1,139 @@
+"""The :class:`SensorNetwork` container.
+
+Ties together a set of :class:`~repro.network.sensor.Sensor` nodes and
+the pre-defined path they line.  The container is the hand-off point
+between the *physical* layers (geometry, radio, energy) and the
+*combinatorial* layer (:mod:`repro.core.instance`), and offers bulk
+vectorised accessors (positions, charges, budgets) so instance
+construction never loops in Python over per-sensor attribute lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.energy.battery import Battery
+from repro.energy.budget import BudgetPolicy, StoredEnergyBudgetPolicy
+from repro.energy.harvester import HarvestModel
+from repro.network.geometry import LinearPath, PiecewiseLinearPath, Point
+from repro.network.sensor import Sensor
+
+__all__ = ["SensorNetwork"]
+
+PathLike = Union[LinearPath, PiecewiseLinearPath]
+
+
+class SensorNetwork:
+    """A deployed energy-harvesting sensor network ``G = (V ∪ {s}, E)``.
+
+    Parameters
+    ----------
+    path:
+        The pre-defined path the mobile sink travels.
+    sensors:
+        The stationary sensor nodes ``V``.
+    """
+
+    def __init__(self, path: PathLike, sensors: Sequence[Sensor]):
+        ids = [s.node_id for s in sensors]
+        if ids != list(range(len(sensors))):
+            raise ValueError("sensor node_ids must be 0..n-1 in order")
+        self.path = path
+        self._sensors: List[Sensor] = list(sensors)
+        self._positions = (
+            np.array([[s.position.x, s.position.y] for s in sensors], dtype=np.float64)
+            if sensors
+            else np.zeros((0, 2))
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        path: PathLike,
+        positions: np.ndarray,
+        battery_capacity: float,
+        initial_charges: Union[float, np.ndarray],
+        harvester_factory: Optional[Callable[[int], HarvestModel]] = None,
+    ) -> "SensorNetwork":
+        """Assemble a network from bulk arrays.
+
+        Parameters
+        ----------
+        path:
+            Sink path geometry.
+        positions:
+            ``(n, 2)`` sensor coordinates (e.g. from
+            :func:`repro.network.deployment.uniform_deployment`).
+        battery_capacity:
+            Capacity ``B`` (J) shared by the homogeneous nodes.
+        initial_charges:
+            Scalar or ``(n,)`` initial stored energy per node (J).
+        harvester_factory:
+            Optional ``node_id -> HarvestModel``; ``None`` disables
+            harvesting (plain battery nodes).
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+        n = positions.shape[0]
+        charges = np.broadcast_to(np.asarray(initial_charges, dtype=np.float64), (n,))
+        sensors = [
+            Sensor(
+                node_id=i,
+                position=Point(float(positions[i, 0]), float(positions[i, 1])),
+                battery=Battery(battery_capacity, float(charges[i])),
+                harvester=harvester_factory(i) if harvester_factory else None,
+            )
+            for i in range(n)
+        ]
+        return cls(path, sensors)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def sensors(self) -> List[Sensor]:
+        """The node list (mutable state lives in each node's battery)."""
+        return self._sensors
+
+    @property
+    def num_sensors(self) -> int:
+        """Network size ``n``."""
+        return len(self._sensors)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` read-only view of sensor coordinates."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    def charges(self) -> np.ndarray:
+        """``(n,)`` current battery charges (J)."""
+        return np.array([s.battery.charge for s in self._sensors])
+
+    def budgets(self, policy: Optional[BudgetPolicy] = None, tour_index: int = 0) -> np.ndarray:
+        """``(n,)`` per-tour energy budgets under ``policy``.
+
+        Defaults to the paper's policy (whole stored charge).
+        """
+        policy = policy or StoredEnergyBudgetPolicy()
+        return np.array([policy.budget(s.battery, tour_index) for s in self._sensors])
+
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def __iter__(self) -> Iterator[Sensor]:
+        return iter(self._sensors)
+
+    def __getitem__(self, node_id: int) -> Sensor:
+        return self._sensors[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SensorNetwork(n={self.num_sensors}, L={self.path.length:.0f} m)"

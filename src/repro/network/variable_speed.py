@@ -1,0 +1,253 @@
+"""Variable-speed sink trajectories — the speed-control extension.
+
+The paper assumes the sink moves "at a constant speed … without stops"
+and cites Kansal et al.'s *speed control* as the established technique
+for improving collection.  This module lifts the constant-speed
+assumption: a :class:`SpeedProfile` assigns a (piecewise-constant)
+speed to each stretch of the path, and
+:class:`VariableSpeedTrajectory` exposes the same interface as
+:class:`~repro.network.path.SinkTrajectory` — ``num_slots``,
+``arc_at_slot``, ``availability``, ``gamma`` — so every algorithm and
+the whole simulation stack work unchanged.
+
+Semantics: slots still last ``tau`` seconds each; the sink covers
+``speed(arc) · tau`` metres during a slot, so slow stretches contain
+*more* slots (more receive opportunities) and fast stretches fewer.
+``Γ`` is derived conservatively from the **maximum** speed so a probe
+interval never spans more than the radio range, keeping Lemma 1 intact.
+
+A simple planner, :func:`density_speed_profile`, implements the obvious
+policy the paper's discussion invites: drive slower where sensors are
+dense, faster where the road is empty, subject to a total-tour-time
+budget (i.e. *without* giving up data latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.network.geometry import LinearPath, PiecewiseLinearPath
+from repro.utils.intervals import SlotInterval
+from repro.utils.validation import check_positive
+
+__all__ = ["SpeedProfile", "VariableSpeedTrajectory", "density_speed_profile"]
+
+PathLike = Union[LinearPath, PiecewiseLinearPath]
+
+
+@dataclass(frozen=True)
+class SpeedProfile:
+    """Piecewise-constant speed over arc length.
+
+    ``speeds[k]`` holds on ``[breaks[k], breaks[k+1])``; ``breaks`` has
+    one more entry than ``speeds``, starts at 0 and ends at the path
+    length.
+    """
+
+    breaks: Tuple[float, ...]
+    speeds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        breaks = tuple(float(b) for b in self.breaks)
+        speeds = tuple(float(s) for s in self.speeds)
+        if len(breaks) != len(speeds) + 1:
+            raise ValueError("breaks must have exactly one more entry than speeds")
+        if breaks[0] != 0.0:
+            raise ValueError("breaks must start at 0")
+        if any(b >= c for b, c in zip(breaks, breaks[1:])):
+            raise ValueError("breaks must be strictly increasing")
+        if any(s <= 0 for s in speeds):
+            raise ValueError("speeds must be positive (the sink never stops)")
+        object.__setattr__(self, "breaks", breaks)
+        object.__setattr__(self, "speeds", speeds)
+
+    @classmethod
+    def constant(cls, speed: float, length: float) -> "SpeedProfile":
+        """A single-segment profile (degenerates to the paper's model)."""
+        check_positive(speed, "speed")
+        check_positive(length, "length")
+        return cls((0.0, length), (speed,))
+
+    @property
+    def length(self) -> float:
+        """Path length covered by the profile."""
+        return self.breaks[-1]
+
+    @property
+    def max_speed(self) -> float:
+        """Fastest segment speed (used for the conservative Γ)."""
+        return max(self.speeds)
+
+    def speed_at(self, arc: float) -> float:
+        """Speed on the segment containing ``arc``."""
+        idx = int(np.clip(np.searchsorted(self.breaks, arc, side="right") - 1, 0, len(self.speeds) - 1))
+        return self.speeds[idx]
+
+    def travel_time(self) -> float:
+        """Total tour time ``Σ segment_length / segment_speed``."""
+        seg = np.diff(np.asarray(self.breaks))
+        return float(np.sum(seg / np.asarray(self.speeds)))
+
+    def arc_at_time(self, t: Union[float, np.ndarray]) -> np.ndarray:
+        """Arc length reached after ``t`` seconds of driving (vectorised)."""
+        seg = np.diff(np.asarray(self.breaks))
+        speeds = np.asarray(self.speeds)
+        seg_times = seg / speeds
+        cum_t = np.concatenate([[0.0], np.cumsum(seg_times)])
+        t_arr = np.clip(np.asarray(t, dtype=np.float64), 0.0, cum_t[-1])
+        idx = np.clip(np.searchsorted(cum_t, t_arr, side="right") - 1, 0, len(seg) - 1)
+        arc = np.asarray(self.breaks)[idx] + (t_arr - cum_t[idx]) * speeds[idx]
+        return arc
+
+
+class VariableSpeedTrajectory:
+    """A sink driving a path under a :class:`SpeedProfile`.
+
+    Drop-in compatible with :class:`~repro.network.path.SinkTrajectory`
+    for everything the instance builder, the online framework and the
+    simulator use.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        profile: SpeedProfile,
+        slot_duration: float,
+    ):
+        if abs(profile.length - path.length) > 1e-6:
+            raise ValueError(
+                f"profile covers {profile.length} m but the path is {path.length} m"
+            )
+        self.path = path
+        self.profile = profile
+        self.slot_duration = check_positive(slot_duration, "slot_duration")
+        total_time = profile.travel_time()
+        self._num_slots = int(np.floor(total_time / slot_duration))
+        if self._num_slots < 1:
+            raise ValueError("tour has zero slots under this profile")
+        # Anchor arcs at slot midpoints.
+        mids = (np.arange(self._num_slots) + 0.5) * slot_duration
+        self._anchor_arcs = profile.arc_at_time(mids)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        """Slots per tour under the profile."""
+        return self._num_slots
+
+    @property
+    def tour_duration(self) -> float:
+        """Tour time in seconds (``T · tau``)."""
+        return self._num_slots * self.slot_duration
+
+    @property
+    def speed(self) -> float:
+        """Mean speed (compatibility shim for code expecting a scalar)."""
+        return self.path.length / self.profile.travel_time()
+
+    def gamma(self, transmission_range: float) -> int:
+        """Conservative probe-interval length: Γ from the fastest stretch,
+        so an interval never outruns the radio range anywhere."""
+        check_positive(transmission_range, "transmission_range")
+        slot_len = self.profile.max_speed * self.slot_duration
+        return max(1, int(np.floor(transmission_range / slot_len)))
+
+    # ------------------------------------------------------------------
+    def arc_at_slot(self, slot: Union[int, np.ndarray]) -> np.ndarray:
+        """Arc length of the sink's midpoint position for slot(s)."""
+        return self._anchor_arcs[np.asarray(slot, dtype=np.int64)]
+
+    def position_at_slot(self, slot: Union[int, np.ndarray]) -> np.ndarray:
+        """Planar sink position(s) for the given slot index/indices."""
+        return self.path.point_at(self.arc_at_slot(slot))
+
+    def distances_to(self, xy: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Sensor–sink distances at the given slots."""
+        return self.path.distance_from(xy, self.arc_at_slot(slots))
+
+    def availability(self, xy: np.ndarray, transmission_range: float):
+        """``A(v)`` per sensor: the (still consecutive, since anchor arcs
+        are monotone) slot window whose anchors fall in the coverage
+        window."""
+        lo, hi = self.path.coverage_window(np.atleast_2d(xy), transmission_range)
+        windows: List[Optional[SlotInterval]] = []
+        for lo_i, hi_i in zip(lo, hi):
+            if lo_i > hi_i:
+                windows.append(None)
+                continue
+            first = int(np.searchsorted(self._anchor_arcs, lo_i - 1e-9, side="left"))
+            last = int(np.searchsorted(self._anchor_arcs, hi_i + 1e-9, side="right")) - 1
+            first = max(first, 0)
+            last = min(last, self._num_slots - 1)
+            if first > last:
+                windows.append(None)
+            else:
+                windows.append(SlotInterval(first, last))
+        return windows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VariableSpeedTrajectory(L={self.path.length:.0f} m, "
+            f"{len(self.profile.speeds)} segments, mean {self.speed:.2f} m/s, "
+            f"T={self._num_slots})"
+        )
+
+
+def density_speed_profile(
+    sensor_x: np.ndarray,
+    path_length: float,
+    tour_time: float,
+    num_segments: int = 20,
+    min_speed: float = 1.0,
+    max_speed: float = 40.0,
+    strength: float = 1.0,
+) -> SpeedProfile:
+    """Plan a speed profile: slow where sensors are dense, same tour time.
+
+    Segments the path uniformly, counts sensors per segment, and assigns
+    per-segment *dwell times* proportional to ``(count + 1)^strength``,
+    normalised so the whole tour takes exactly ``tour_time`` seconds
+    (up to the speed clamps).  With ``strength = 0`` this degenerates to
+    constant speed.
+
+    Parameters
+    ----------
+    sensor_x:
+        Longitudinal sensor coordinates (metres).
+    path_length / tour_time:
+        The road and the latency budget.
+    num_segments:
+        Planning granularity.
+    min_speed / max_speed:
+        Physical speed clamps (m/s).
+    strength:
+        How aggressively density attracts dwell time.
+
+    Returns
+    -------
+    SpeedProfile
+    """
+    check_positive(path_length, "path_length")
+    check_positive(tour_time, "tour_time")
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    if not 0 < min_speed <= max_speed:
+        raise ValueError("need 0 < min_speed <= max_speed")
+    edges = np.linspace(0.0, path_length, num_segments + 1)
+    counts, _ = np.histogram(np.asarray(sensor_x), bins=edges)
+    weights = np.power(counts + 1.0, strength)
+    dwell = tour_time * weights / weights.sum()
+    seg_len = np.diff(edges)
+    speeds = np.clip(seg_len / dwell, min_speed, max_speed)
+    # Re-normalise once after clamping so the tour time stays close to
+    # the budget (clamped segments keep their clamp).
+    free = (speeds > min_speed) & (speeds < max_speed)
+    if np.any(free):
+        used = float(np.sum(seg_len[~free] / speeds[~free]))
+        remaining = max(tour_time - used, 1e-9)
+        scale = np.sum(seg_len[free] / speeds[free]) / remaining
+        speeds[free] = np.clip(speeds[free] * scale, min_speed, max_speed)
+    return SpeedProfile(tuple(edges), tuple(speeds))

@@ -1,0 +1,51 @@
+"""Simulation layer: scenarios, tour algorithms, multi-tour simulation.
+
+Ties the physical substrates and the algorithms into runnable
+experiments: a :class:`~repro.sim.scenario.ScenarioConfig` captures the
+paper's experimental environment (Section VII.A) as data, a
+:class:`~repro.sim.scenario.Scenario` instantiates one random topology,
+and :func:`~repro.sim.simulator.simulate_tours` plays whole
+harvest–collect cycles to study perpetual operation.
+"""
+
+from repro.sim.scenario import PAPER_DEFAULTS, Scenario, ScenarioConfig
+from repro.sim.algorithms import (
+    ALGORITHMS,
+    BaselineAlgorithm,
+    OfflineApproAlgorithm,
+    OfflineMaxMatchAlgorithm,
+    OnlineApproAlgorithm,
+    OnlineMaxMatchAlgorithm,
+    TourAlgorithm,
+    get_algorithm,
+)
+from repro.sim.results import SimulationResult, TourResult
+from repro.sim.simulator import run_tour, simulate_tours
+from repro.sim.metrics import (
+    energy_utilisation,
+    jain_fairness,
+    slot_utilisation,
+    throughput_megabits,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "PAPER_DEFAULTS",
+    "TourAlgorithm",
+    "OfflineApproAlgorithm",
+    "OnlineApproAlgorithm",
+    "OfflineMaxMatchAlgorithm",
+    "OnlineMaxMatchAlgorithm",
+    "BaselineAlgorithm",
+    "ALGORITHMS",
+    "get_algorithm",
+    "TourResult",
+    "SimulationResult",
+    "run_tour",
+    "simulate_tours",
+    "throughput_megabits",
+    "jain_fairness",
+    "energy_utilisation",
+    "slot_utilisation",
+]

@@ -1,0 +1,193 @@
+"""Uniform tour-algorithm interface for the simulator and experiments.
+
+Wraps each algorithm of the paper (and the baselines) behind one
+``run(instance, gamma) -> (Allocation, MessageLog | None)`` call so the
+simulator, the sweeps, and the benchmarks can treat them uniformly and
+refer to them by their paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.allocation import Allocation
+from repro.core.baselines import (
+    greedy_by_density,
+    greedy_by_profit,
+    random_allocation,
+    round_robin_allocation,
+)
+from repro.core.instance import DataCollectionInstance
+from repro.core.offline_appro import offline_appro
+from repro.core.offline_maxmatch import offline_maxmatch
+from repro.online.messages import MessageLog
+from repro.online.lookahead import online_appro_lookahead
+from repro.online.online_appro import online_appro
+from repro.online.online_maxmatch import online_maxmatch
+
+__all__ = [
+    "TourAlgorithm",
+    "OfflineApproAlgorithm",
+    "OnlineApproAlgorithm",
+    "OfflineMaxMatchAlgorithm",
+    "OnlineMaxMatchAlgorithm",
+    "BaselineAlgorithm",
+    "ALGORITHMS",
+    "get_algorithm",
+]
+
+RunOutput = Tuple[Allocation, Optional[MessageLog]]
+
+
+class TourAlgorithm:
+    """Base class: a named allocation algorithm for one tour."""
+
+    name: str = "abstract"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        """Allocate the tour's slots; online algorithms also return
+        their message log."""
+        raise NotImplementedError
+
+
+@dataclass
+class OfflineApproAlgorithm(TourAlgorithm):
+    """``Offline_Appro`` (Algorithm 1)."""
+
+    knapsack_method: str = "auto"
+    epsilon: float = 0.1
+    augment: bool = False
+    name: str = "Offline_Appro"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        allocation = offline_appro(
+            instance,
+            knapsack_method=self.knapsack_method,
+            epsilon=self.epsilon,
+            augment=self.augment,
+        )
+        return allocation, None
+
+
+@dataclass
+class OnlineApproAlgorithm(TourAlgorithm):
+    """``Online_Appro`` (Algorithm 2 + GAP interval scheduler)."""
+
+    knapsack_method: str = "auto"
+    epsilon: float = 0.1
+    augment: bool = False
+    name: str = "Online_Appro"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        result = online_appro(
+            instance,
+            gamma,
+            knapsack_method=self.knapsack_method,
+            epsilon=self.epsilon,
+            augment=self.augment,
+        )
+        return result.allocation, result.messages
+
+
+@dataclass
+class OnlineApproLookaheadAlgorithm(TourAlgorithm):
+    """``Online_Appro`` + value-proportional budget lookahead (extension)."""
+
+    knapsack_method: str = "auto"
+    epsilon: float = 0.1
+    strength: float = 1.0
+    name: str = "Online_Appro_Lookahead"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        result = online_appro_lookahead(
+            instance,
+            gamma,
+            knapsack_method=self.knapsack_method,
+            epsilon=self.epsilon,
+            strength=self.strength,
+        )
+        return result.allocation, result.messages
+
+
+@dataclass
+class OfflineMaxMatchAlgorithm(TourAlgorithm):
+    """``Offline_MaxMatch`` (exact, fixed-power special case)."""
+
+    engine: str = "auto"
+    fixed_power: Optional[float] = None
+    name: str = "Offline_MaxMatch"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        allocation = offline_maxmatch(
+            instance, engine=self.engine, fixed_power=self.fixed_power
+        )
+        return allocation, None
+
+
+@dataclass
+class OnlineMaxMatchAlgorithm(TourAlgorithm):
+    """``Online_MaxMatch`` (Algorithm 2 + matching interval scheduler)."""
+
+    engine: str = "flow"
+    fixed_power: Optional[float] = None
+    name: str = "Online_MaxMatch"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        result = online_maxmatch(
+            instance, gamma, fixed_power=self.fixed_power, engine=self.engine
+        )
+        return result.allocation, result.messages
+
+
+@dataclass
+class BaselineAlgorithm(TourAlgorithm):
+    """One of the baseline heuristics, by name."""
+
+    variant: str = "greedy_profit"  # greedy_profit | greedy_density | random | round_robin
+    seed: Optional[int] = 0
+    name: str = field(default="", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.variant not in (
+            "greedy_profit",
+            "greedy_density",
+            "random",
+            "round_robin",
+        ):
+            raise ValueError(f"unknown baseline variant {self.variant!r}")
+        if not self.name:
+            self.name = f"Baseline[{self.variant}]"
+
+    def run(self, instance: DataCollectionInstance, gamma: int) -> RunOutput:
+        if self.variant == "greedy_profit":
+            return greedy_by_profit(instance), None
+        if self.variant == "greedy_density":
+            return greedy_by_density(instance), None
+        if self.variant == "random":
+            return random_allocation(instance, self.seed), None
+        return round_robin_allocation(instance), None
+
+
+#: Registry of algorithm factories keyed by paper name.
+ALGORITHMS: Dict[str, Callable[[], TourAlgorithm]] = {
+    "Offline_Appro": OfflineApproAlgorithm,
+    "Online_Appro": OnlineApproAlgorithm,
+    "Online_Appro_Lookahead": OnlineApproLookaheadAlgorithm,
+    "Offline_MaxMatch": OfflineMaxMatchAlgorithm,
+    "Online_MaxMatch": OnlineMaxMatchAlgorithm,
+    "Baseline[greedy_profit]": lambda: BaselineAlgorithm("greedy_profit"),
+    "Baseline[greedy_density]": lambda: BaselineAlgorithm("greedy_density"),
+    "Baseline[random]": lambda: BaselineAlgorithm("random"),
+    "Baseline[round_robin]": lambda: BaselineAlgorithm("round_robin"),
+}
+
+
+def get_algorithm(name: str) -> TourAlgorithm:
+    """Instantiate a registered algorithm by its paper name."""
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None

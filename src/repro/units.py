@@ -1,0 +1,105 @@
+"""Unit conventions and conversion helpers.
+
+The whole library works in **SI base units**:
+
+* distance   — metres (m)
+* time       — seconds (s)
+* energy     — joules (J)
+* power      — watts (W)
+* data rate  — bits per second (bit/s)
+* data       — bits (bit)
+
+The paper quotes quantities in mixed engineering units (mW, Kbps, mWh).
+This module holds the conversion constants and small helpers so that the
+rest of the code never multiplies by a bare ``3.6`` or ``1e-3``.
+
+All converters are trivially vectorised: they accept and return either
+scalars or :class:`numpy.ndarray` without copying more than necessary.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "MILLI",
+    "KILO",
+    "MEGA",
+    "SECONDS_PER_HOUR",
+    "JOULES_PER_WATT_HOUR",
+    "mw_to_w",
+    "w_to_mw",
+    "kbps_to_bps",
+    "bps_to_kbps",
+    "mwh_to_joules",
+    "joules_to_mwh",
+    "bits_to_megabits",
+    "megabits_to_bits",
+    "hours_to_seconds",
+    "seconds_to_hours",
+]
+
+#: SI prefix multipliers.
+MILLI: float = 1e-3
+KILO: float = 1e3
+MEGA: float = 1e6
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR: float = 3600.0
+
+#: 1 Wh = 3600 J.
+JOULES_PER_WATT_HOUR: float = 3600.0
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+def mw_to_w(milliwatts: ArrayLike) -> ArrayLike:
+    """Convert milliwatts to watts."""
+    return np.multiply(milliwatts, MILLI)
+
+
+def w_to_mw(watts: ArrayLike) -> ArrayLike:
+    """Convert watts to milliwatts."""
+    return np.multiply(watts, 1.0 / MILLI)
+
+
+def kbps_to_bps(kilobits_per_second: ArrayLike) -> ArrayLike:
+    """Convert kilobits/s to bits/s (decimal kilo, as radio datasheets use)."""
+    return np.multiply(kilobits_per_second, KILO)
+
+
+def bps_to_kbps(bits_per_second: ArrayLike) -> ArrayLike:
+    """Convert bits/s to kilobits/s."""
+    return np.multiply(bits_per_second, 1.0 / KILO)
+
+
+def mwh_to_joules(milliwatt_hours: ArrayLike) -> ArrayLike:
+    """Convert milliwatt-hours to joules (1 mWh = 3.6 J)."""
+    return np.multiply(milliwatt_hours, MILLI * JOULES_PER_WATT_HOUR)
+
+
+def joules_to_mwh(joules: ArrayLike) -> ArrayLike:
+    """Convert joules to milliwatt-hours."""
+    return np.multiply(joules, 1.0 / (MILLI * JOULES_PER_WATT_HOUR))
+
+
+def bits_to_megabits(bits: ArrayLike) -> ArrayLike:
+    """Convert bits to megabits (decimal mega)."""
+    return np.multiply(bits, 1.0 / MEGA)
+
+
+def megabits_to_bits(megabits: ArrayLike) -> ArrayLike:
+    """Convert megabits to bits."""
+    return np.multiply(megabits, MEGA)
+
+
+def hours_to_seconds(hours: ArrayLike) -> ArrayLike:
+    """Convert hours to seconds."""
+    return np.multiply(hours, SECONDS_PER_HOUR)
+
+
+def seconds_to_hours(seconds: ArrayLike) -> ArrayLike:
+    """Convert seconds to hours."""
+    return np.multiply(seconds, 1.0 / SECONDS_PER_HOUR)

@@ -1,0 +1,65 @@
+"""Argument validation helpers.
+
+Small, dependency-free checks used at public API boundaries.  Internal
+hot loops never call these; validation happens once when an object is
+constructed, matching the "validate at the edge, trust inside" idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_finite",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return the value."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return the value."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if low is not None and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value!r}")
+        if high is not None and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value!r}")
+    else:
+        if low is not None and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value!r}")
+        if high is not None and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value!r}")
+    return float(value)
+
+
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Raise ``ValueError`` if ``array`` contains NaN or infinity."""
+    array = np.asarray(array)
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array

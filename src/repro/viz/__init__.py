@@ -1,0 +1,5 @@
+"""Dependency-free SVG visualisation of scenarios and allocations."""
+
+from repro.viz.svg import render_allocation_timeline, render_deployment
+
+__all__ = ["render_deployment", "render_allocation_timeline"]

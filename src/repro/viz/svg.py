@@ -1,0 +1,182 @@
+"""Standalone SVG rendering — no matplotlib, no display server.
+
+Two views a WSN researcher reaches for first:
+
+* :func:`render_deployment` — the highway from above: path, sensors
+  (coloured by stored energy), the radio range of a chosen sink
+  position, optional coverage holes;
+* :func:`render_allocation_timeline` — the tour as a timeline: one
+  band per rate level, a tick per slot coloured by the transmitting
+  sensor's rate (white = idle), interval boundaries for online runs.
+
+Both return complete SVG documents (strings); write them to ``.svg``
+and open in any browser.  The generator is deliberately simple: static
+header, a handful of primitive emitters, everything testable by string
+inspection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.instance import DataCollectionInstance
+from repro.network.network import SensorNetwork
+
+__all__ = ["render_deployment", "render_allocation_timeline"]
+
+#: Rate-band palette (dark = fast), index into sorted unique rates.
+_RATE_COLOURS = ["#1a5276", "#2874a6", "#5499c7", "#a9cce3", "#d6eaf8"]
+
+
+def _esc(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def _svg_document(width: float, height: float, body: List[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_esc(width)}" '
+        f'height="{_esc(height)}" viewBox="0 0 {_esc(width)} {_esc(height)}">'
+    )
+    return "\n".join(
+        [head, f"<title>{title}</title>"] + body + ["</svg>"]
+    )
+
+
+def render_deployment(
+    network: SensorNetwork,
+    sink_arc: Optional[float] = None,
+    transmission_range: float = 200.0,
+    width: float = 900.0,
+) -> str:
+    """Top-down SVG of a deployed network.
+
+    Parameters
+    ----------
+    network:
+        The network to draw (straight-line path assumed for the axis).
+    sink_arc:
+        Optional sink position (arc length, m); drawn with its radio
+        disc when given.
+    transmission_range:
+        Radius of the sink's radio disc, metres.
+    width:
+        Output width in pixels; height scales with the lateral extent.
+    """
+    length = network.path.length
+    positions = network.positions
+    max_off = float(np.max(np.abs(positions[:, 1]))) if len(network) else 100.0
+    margin = 30.0
+    scale = (width - 2 * margin) / length
+    half_h = max(max_off, transmission_range) * scale + margin
+    height = 2 * half_h
+
+    def x_of(metres: float) -> float:
+        return margin + metres * scale
+
+    def y_of(metres: float) -> float:
+        return half_h - metres * scale
+
+    body: List[str] = []
+    # Road.
+    body.append(
+        f'<line x1="{_esc(x_of(0))}" y1="{_esc(y_of(0))}" x2="{_esc(x_of(length))}" '
+        f'y2="{_esc(y_of(0))}" stroke="#555" stroke-width="2" stroke-dasharray="8 4"/>'
+    )
+    # Sink + radio disc.
+    if sink_arc is not None:
+        body.append(
+            f'<circle cx="{_esc(x_of(sink_arc))}" cy="{_esc(y_of(0))}" '
+            f'r="{_esc(transmission_range * scale)}" fill="#f9e79f" '
+            f'fill-opacity="0.4" stroke="#b7950b" class="radio-range"/>'
+        )
+        body.append(
+            f'<rect x="{_esc(x_of(sink_arc) - 6)}" y="{_esc(y_of(0) - 4)}" width="12" '
+            f'height="8" fill="#b7950b" class="sink"/>'
+        )
+    # Sensors, shaded by stored energy.
+    charges = network.charges() if len(network) else np.zeros(0)
+    max_charge = float(charges.max()) if charges.size and charges.max() > 0 else 1.0
+    for sensor, charge in zip(network.sensors, charges):
+        frac = charge / max_charge
+        shade = int(40 + 180 * (1.0 - frac))
+        body.append(
+            f'<circle cx="{_esc(x_of(sensor.position.x))}" '
+            f'cy="{_esc(y_of(sensor.position.y))}" r="3" '
+            f'fill="rgb({shade},{int(90 + 100 * frac)},{shade})" class="sensor"/>'
+        )
+    return _svg_document(width, height, body, "sensor deployment")
+
+
+def render_allocation_timeline(
+    instance: DataCollectionInstance,
+    allocation: Allocation,
+    interval_length: Optional[int] = None,
+    width: float = 900.0,
+    height: float = 120.0,
+) -> str:
+    """SVG timeline of one tour's allocation.
+
+    Each slot becomes a vertical tick coloured by the transmitting
+    sensor's rate band (fastest = darkest); idle slots stay white.
+    ``interval_length`` draws the online framework's probe boundaries.
+    """
+    allocation.check_feasible(instance)
+    t = instance.num_slots
+    margin = 20.0
+    slot_w = (width - 2 * margin) / t
+    band_h = height - 2 * margin
+
+    rates = sorted(
+        {
+            float(r)
+            for data in instance.sensors
+            if data.window is not None
+            for r in data.rates
+            if r > 0
+        },
+        reverse=True,
+    )
+    colour_of = {
+        rate: _RATE_COLOURS[min(k, len(_RATE_COLOURS) - 1)] for k, rate in enumerate(rates)
+    }
+
+    body: List[str] = [
+        f'<rect x="{_esc(margin)}" y="{_esc(margin)}" '
+        f'width="{_esc(width - 2 * margin)}" height="{_esc(band_h)}" '
+        f'fill="white" stroke="#999"/>'
+    ]
+    for j, sensor in enumerate(allocation.slot_owner):
+        if sensor == -1:
+            continue
+        data = instance.sensors[int(sensor)]
+        rate = float(data.rates[data.local_index(j)])
+        colour = colour_of.get(rate, "#cccccc")
+        body.append(
+            f'<rect x="{_esc(margin + j * slot_w)}" y="{_esc(margin)}" '
+            f'width="{_esc(max(slot_w, 0.5))}" height="{_esc(band_h)}" '
+            f'fill="{colour}" class="slot"/>'
+        )
+    if interval_length:
+        for start in range(0, t, interval_length):
+            x = margin + start * slot_w
+            body.append(
+                f'<line x1="{_esc(x)}" y1="{_esc(margin - 6)}" x2="{_esc(x)}" '
+                f'y2="{_esc(margin + band_h)}" stroke="#c0392b" '
+                f'stroke-width="0.8" class="probe-boundary"/>'
+            )
+    # Legend.
+    lx = margin
+    for rate in rates[: len(_RATE_COLOURS)]:
+        body.append(
+            f'<rect x="{_esc(lx)}" y="{_esc(height - 14)}" width="10" height="10" '
+            f'fill="{colour_of[rate]}"/>'
+        )
+        body.append(
+            f'<text x="{_esc(lx + 13)}" y="{_esc(height - 5)}" '
+            f'font-size="9" fill="#333">{rate / 1000.0:g} kbps</text>'
+        )
+        lx += 95
+    return _svg_document(width, height, body, "allocation timeline")

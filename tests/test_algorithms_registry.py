@@ -1,0 +1,64 @@
+"""Tour-algorithm adapters and the registry."""
+
+import pytest
+
+from repro.sim.algorithms import (
+    ALGORITHMS,
+    BaselineAlgorithm,
+    OfflineApproAlgorithm,
+    OnlineApproAlgorithm,
+    get_algorithm,
+)
+from repro.sim.scenario import ScenarioConfig
+from tests.conftest import random_instance
+
+
+def test_registry_contains_paper_algorithms():
+    for name in (
+        "Offline_Appro",
+        "Online_Appro",
+        "Offline_MaxMatch",
+        "Online_MaxMatch",
+    ):
+        assert name in ALGORITHMS
+        assert get_algorithm(name).name == name
+
+
+def test_registry_contains_baselines():
+    for variant in ("greedy_profit", "greedy_density", "random", "round_robin"):
+        algo = get_algorithm(f"Baseline[{variant}]")
+        assert variant in algo.name
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="choose from"):
+        get_algorithm("Does_Not_Exist")
+
+
+def test_unknown_baseline_variant_rejected():
+    with pytest.raises(ValueError):
+        BaselineAlgorithm("optimal")
+
+
+def test_offline_run_returns_no_messages(rng):
+    inst = random_instance(rng, num_slots=12, num_sensors=4)
+    alloc, messages = OfflineApproAlgorithm().run(inst, 4)
+    assert messages is None
+    alloc.check_feasible(inst)
+
+
+def test_online_run_returns_messages(rng):
+    inst = random_instance(rng, num_slots=12, num_sensors=4)
+    alloc, messages = OnlineApproAlgorithm().run(inst, 4)
+    assert messages is not None
+    alloc.check_feasible(inst)
+
+
+def test_every_registered_algorithm_feasible_on_scenario():
+    multi = ScenarioConfig(num_sensors=40, path_length=2000.0).build(seed=1)
+    fixed = ScenarioConfig(num_sensors=40, path_length=2000.0, fixed_power=0.3).build(seed=1)
+    for name in ALGORITHMS:
+        scenario = fixed if "MaxMatch" in name else multi
+        inst = scenario.instance()
+        alloc, _ = get_algorithm(name).run(inst, scenario.gamma)
+        alloc.check_feasible(inst)

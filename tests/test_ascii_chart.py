@@ -1,0 +1,77 @@
+"""ASCII chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_chart import ascii_chart
+
+
+def test_basic_render_contains_glyphs_and_legend():
+    out = ascii_chart([1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]})
+    assert "o up" in out
+    assert "x down" in out
+    assert "o" in out.splitlines()[0] + out  # glyphs plotted somewhere
+
+
+def test_y_axis_ticks_show_extremes():
+    out = ascii_chart([0, 1], {"s": [10.0, 50.0]})
+    assert "50.00" in out
+    assert "10.00" in out
+
+
+def test_x_axis_shows_range():
+    out = ascii_chart([100, 600], {"s": [1.0, 2.0]})
+    assert "100" in out
+    assert "600" in out
+
+
+def test_labels_included():
+    out = ascii_chart(
+        [0, 1], {"s": [0.0, 1.0]}, y_label="Mb", x_label="network size n"
+    )
+    assert "Mb" in out
+    assert "network size n" in out
+
+
+def test_flat_series_does_not_crash():
+    out = ascii_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+    assert "flat" in out
+
+
+def test_single_point():
+    out = ascii_chart([3], {"dot": [7.0]})
+    assert "dot" in out
+
+
+def test_dimensions_respected():
+    out = ascii_chart([0, 1], {"s": [0.0, 1.0]}, width=20, height=6)
+    plot_rows = [l for l in out.splitlines() if "|" in l]
+    assert len(plot_rows) == 6
+    assert all(len(l) <= 11 + 1 + 20 for l in plot_rows)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(x=[], series={"s": []}),
+        dict(x=[1, 2], series={}),
+        dict(x=[2, 1], series={"s": [1.0, 2.0]}),
+        dict(x=[1, 2], series={"s": [1.0]}),
+        dict(x=[1, 2], series={"s": [1.0, 2.0]}, width=4),
+    ],
+)
+def test_invalid_inputs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ascii_chart(**kwargs)
+
+
+def test_monotone_series_monotone_rows():
+    """An increasing series' glyph rows decrease (higher = smaller row)."""
+    out = ascii_chart([0, 1, 2, 3], {"s": [0.0, 1.0, 2.0, 3.0]}, width=32, height=9)
+    rows = {}
+    for r, line in enumerate(l for l in out.splitlines() if "|" in l):
+        for c, ch in enumerate(line.split("|", 1)[1]):
+            if ch == "o":
+                rows[c] = r
+    cols = sorted(rows)
+    assert all(rows[a] >= rows[b] for a, b in zip(cols, cols[1:]))

@@ -1,0 +1,154 @@
+"""Auction matching engine: ε-optimality bound and integer exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import auction_b_matching
+from repro.core.matching import max_weight_b_matching
+
+
+def check_structure(result, edges, caps):
+    left_used = {}
+    right_used = set()
+    edge_set = {}
+    for u, v, w in edges:
+        edge_set[(u, v)] = max(edge_set.get((u, v), 0.0), w)
+    for u, v in result.pairs:
+        assert (u, v) in edge_set
+        assert v not in right_used
+        right_used.add(v)
+        left_used[u] = left_used.get(u, 0) + 1
+        assert left_used[u] <= caps[u]
+
+
+def test_single_edge():
+    result = auction_b_matching([(0, 0, 5.0)], [1], 1)
+    assert result.pairs == ((0, 0),)
+    assert result.weight == pytest.approx(5.0)
+
+
+def test_empty():
+    assert auction_b_matching([], [1], 2).pairs == ()
+
+
+def test_zero_capacity():
+    assert auction_b_matching([(0, 0, 5.0)], [0], 1).pairs == ()
+
+
+def test_prefers_heavy_edge():
+    result = auction_b_matching([(0, 0, 1.0), (1, 0, 3.0)], [1, 1], 1)
+    assert result.pairs == ((1, 0),)
+
+
+def test_weight_beats_cardinality():
+    edges = [(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0)]
+    result = auction_b_matching(edges, [1, 1], 2, final_epsilon=0.01)
+    assert result.weight == pytest.approx(10.0)
+
+
+def test_b_matching_capacity_respected():
+    edges = [(0, j, 5.0 - j) for j in range(4)]
+    result = auction_b_matching(edges, [2], 4, final_epsilon=0.01)
+    assert len(result.pairs) == 2
+    assert result.weight == pytest.approx(9.0)
+
+
+def test_exact_on_integer_weights_with_fine_epsilon():
+    rng = np.random.default_rng(0)
+    for _ in range(15):
+        num_left = int(rng.integers(1, 5))
+        num_right = int(rng.integers(1, 7))
+        caps = rng.integers(0, 3, num_left).tolist()
+        edges = [
+            (int(u), int(v), float(rng.integers(1, 50)))
+            for u in range(num_left)
+            for v in range(num_right)
+            if rng.random() < 0.6
+        ]
+        # epsilon < 1/(n_bidders+1) => exact on integer weights.
+        got = auction_b_matching(edges, caps, num_right, final_epsilon=0.1 / (num_right + 1))
+        check_structure(got, edges, caps)
+        ref = max_weight_b_matching(edges, caps, num_right, engine="flow")
+        assert got.weight == pytest.approx(ref.weight)
+
+
+def test_epsilon_bound_on_float_weights():
+    """The documented guarantee: weight >= OPT - n_bidders * epsilon."""
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        num_left, num_right = 4, 6
+        caps = rng.integers(1, 3, num_left).tolist()
+        edges = [
+            (int(u), int(v), float(rng.uniform(0.1, 10.0)))
+            for u in range(num_left)
+            for v in range(num_right)
+            if rng.random() < 0.7
+        ]
+        eps = 0.05
+        got = auction_b_matching(edges, caps, num_right, final_epsilon=eps)
+        check_structure(got, edges, caps)
+        ref = max_weight_b_matching(edges, caps, num_right, engine="lp")
+        assert got.weight >= ref.weight - num_right * eps - 1e-9
+
+
+def test_default_epsilon_gives_tight_relative_gap():
+    rng = np.random.default_rng(2)
+    caps = [2, 2, 2]
+    edges = [
+        (u, v, float(rng.uniform(1.0, 10.0))) for u in range(3) for v in range(5)
+    ]
+    got = auction_b_matching(edges, caps, 5)
+    ref = max_weight_b_matching(edges, caps, 5, engine="flow")
+    assert got.weight >= ref.weight * (1.0 - 2e-3)
+
+
+def test_negative_and_zero_weights_ignored():
+    result = auction_b_matching([(0, 0, -1.0), (0, 1, 0.0), (0, 2, 2.0)], [3], 3)
+    assert result.pairs == ((0, 2),)
+
+
+def test_invalid_edges_rejected():
+    with pytest.raises(ValueError):
+        auction_b_matching([(5, 0, 1.0)], [1], 1)
+    with pytest.raises(ValueError):
+        auction_b_matching([(0, 9, 1.0)], [1], 1)
+    with pytest.raises(ValueError):
+        auction_b_matching([(0, 0, 1.0)], [-1], 1)
+    with pytest.raises(ValueError):
+        auction_b_matching([(0, 0, 1.0)], [1], 1, final_epsilon=0.0)
+
+
+def test_paper_scale_interval_matching():
+    """Realistic per-interval matching: the auction lands within its
+    epsilon bound of the exact optimum."""
+    from repro.core.offline_maxmatch import build_matching_edges
+    from repro.sim.scenario import ScenarioConfig
+    from repro.utils.intervals import SlotInterval
+
+    scenario = ScenarioConfig(num_sensors=80, path_length=4000.0, fixed_power=0.3).build(seed=6)
+    inst = scenario.instance()
+    sub, _ = inst.restrict(SlotInterval(0, scenario.gamma - 1))
+    edges, caps = build_matching_edges(sub, fixed_power=0.3)
+    got = auction_b_matching(edges, caps, sub.num_slots)
+    ref = max_weight_b_matching(edges, caps, sub.num_slots, engine="flow")
+    max_w = max(w for _, _, w in edges)
+    assert got.weight >= ref.weight - max_w * 1e-3 - 1e-9
+    assert got.weight <= ref.weight + 1e-9
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_hypothesis_integer_exactness(data):
+    num_left = data.draw(st.integers(1, 3))
+    num_right = data.draw(st.integers(1, 5))
+    caps = [data.draw(st.integers(0, 2)) for _ in range(num_left)]
+    edges = []
+    for u in range(num_left):
+        for v in range(num_right):
+            if data.draw(st.booleans()):
+                edges.append((u, v, float(data.draw(st.integers(1, 30)))))
+    got = auction_b_matching(edges, caps, num_right, final_epsilon=0.5 / (num_right + 1))
+    ref = max_weight_b_matching(edges, caps, num_right, engine="flow")
+    assert got.weight == pytest.approx(ref.weight)

@@ -1,0 +1,120 @@
+"""Baseline heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    greedy_by_density,
+    greedy_by_profit,
+    random_allocation,
+    round_robin_allocation,
+)
+from repro.core.exact import brute_force_optimum
+from tests.conftest import make_instance, random_instance
+
+ALL_BASELINES = [
+    greedy_by_profit,
+    greedy_by_density,
+    lambda inst: random_allocation(inst, seed=0),
+    round_robin_allocation,
+]
+
+
+@pytest.mark.parametrize("baseline", ALL_BASELINES)
+def test_feasible_on_random_instances(rng, baseline):
+    for _ in range(10):
+        inst = random_instance(rng, num_slots=10, num_sensors=4)
+        baseline(inst).check_feasible(inst)
+
+
+@pytest.mark.parametrize("baseline", ALL_BASELINES)
+def test_empty_instance(baseline):
+    inst = make_instance(
+        3, 1.0, [{"window": None, "rates": [], "powers": [], "budget": 1.0}]
+    )
+    assert baseline(inst).num_assigned() == 0
+
+
+def test_greedy_by_profit_takes_best_pair_first():
+    inst = make_instance(
+        1,
+        1.0,
+        [
+            {"window": (0, 0), "rates": [3.0], "powers": [1.0], "budget": 9.0},
+            {"window": (0, 0), "rates": [7.0], "powers": [1.0], "budget": 9.0},
+        ],
+    )
+    assert greedy_by_profit(inst).slot_owner[0] == 1
+
+
+def test_greedy_by_density_prefers_efficiency():
+    # Sensor 0: profit 6 at cost 3 (density 2); sensor 1: profit 5 at
+    # cost 1 (density 5) -> density greedy picks sensor 1.
+    inst = make_instance(
+        1,
+        1.0,
+        [
+            {"window": (0, 0), "rates": [6.0], "powers": [3.0], "budget": 9.0},
+            {"window": (0, 0), "rates": [5.0], "powers": [1.0], "budget": 9.0},
+        ],
+    )
+    assert greedy_by_density(inst).slot_owner[0] == 1
+    assert greedy_by_profit(inst).slot_owner[0] == 0
+
+
+def test_greedy_respects_budget():
+    inst = make_instance(
+        3,
+        1.0,
+        [
+            {
+                "window": (0, 2),
+                "rates": [9.0, 8.0, 7.0],
+                "powers": [2.0, 2.0, 2.0],
+                "budget": 4.0,
+            }
+        ],
+    )
+    alloc = greedy_by_profit(inst)
+    assert alloc.num_assigned() == 2
+    np.testing.assert_array_equal(alloc.slots_of(0), [0, 1])
+
+
+def test_random_allocation_deterministic_per_seed(rng):
+    inst = random_instance(rng, num_slots=10, num_sensors=4)
+    a = random_allocation(inst, seed=5)
+    b = random_allocation(inst, seed=5)
+    np.testing.assert_array_equal(a.slot_owner, b.slot_owner)
+
+
+def test_random_allocation_varies_with_seed(rng):
+    inst = random_instance(rng, num_slots=20, num_sensors=6)
+    a = random_allocation(inst, seed=1)
+    b = random_allocation(inst, seed=2)
+    assert not np.array_equal(a.slot_owner, b.slot_owner)
+
+
+def test_round_robin_spreads_across_sensors():
+    inst = make_instance(
+        4,
+        1.0,
+        [
+            {"window": (0, 3), "rates": [1.0] * 4, "powers": [1.0] * 4, "budget": 9.0},
+            {"window": (0, 3), "rates": [1.0] * 4, "powers": [1.0] * 4, "budget": 9.0},
+        ],
+    )
+    alloc = round_robin_allocation(inst)
+    assert alloc.slots_of(0).size == 2
+    assert alloc.slots_of(1).size == 2
+
+
+def test_greedy_no_worse_than_half_on_unit_costs(rng):
+    """With uniform costs, profit-greedy is the classic matroid greedy
+    and stays within 1/2 of optimum."""
+    for _ in range(10):
+        inst = random_instance(
+            rng, num_slots=8, num_sensors=3, max_window=5, fixed_power=0.3
+        )
+        opt = brute_force_optimum(inst).collected_bits(inst)
+        got = greedy_by_profit(inst).collected_bits(inst)
+        assert got >= opt / 2.0 - 1e-9

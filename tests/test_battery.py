@@ -1,0 +1,107 @@
+"""Battery invariants, including a hypothesis state-machine-style check."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.battery import Battery
+
+
+def test_initial_state():
+    b = Battery(100.0, 40.0)
+    assert b.capacity == 100.0
+    assert b.charge == 40.0
+    assert b.headroom == 60.0
+
+
+def test_initial_charge_exceeding_capacity_rejected():
+    with pytest.raises(ValueError):
+        Battery(10.0, 11.0)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        Battery(0.0)
+
+
+def test_deposit_within_headroom():
+    b = Battery(100.0, 10.0)
+    stored = b.deposit(30.0)
+    assert stored == 30.0
+    assert b.charge == 40.0
+    assert b.total_spilled == 0.0
+
+
+def test_deposit_spills_at_capacity():
+    b = Battery(100.0, 90.0)
+    stored = b.deposit(30.0)
+    assert stored == pytest.approx(10.0)
+    assert b.charge == 100.0
+    assert b.total_spilled == pytest.approx(20.0)
+
+
+def test_deposit_negative_rejected():
+    with pytest.raises(ValueError):
+        Battery(10.0).deposit(-1.0)
+
+
+def test_withdraw():
+    b = Battery(100.0, 50.0)
+    b.withdraw(20.0)
+    assert b.charge == pytest.approx(30.0)
+    assert b.total_withdrawn == pytest.approx(20.0)
+
+
+def test_withdraw_overdraft_rejected():
+    b = Battery(100.0, 5.0)
+    with pytest.raises(ValueError):
+        b.withdraw(5.1)
+
+
+def test_withdraw_exact_charge_ok():
+    b = Battery(100.0, 5.0)
+    b.withdraw(5.0)
+    assert b.charge == pytest.approx(0.0)
+
+
+def test_can_afford():
+    b = Battery(100.0, 5.0)
+    assert b.can_afford(5.0)
+    assert not b.can_afford(5.1)
+
+
+def test_copy_is_independent():
+    b = Battery(100.0, 50.0)
+    c = b.copy()
+    c.withdraw(10.0)
+    assert b.charge == 50.0
+    assert c.charge == 40.0
+
+
+def test_paper_recurrence():
+    """P_{j+1} = min(P_j + Q_j - O_j, B) for one harvest/spend cycle."""
+    b = Battery(10_000.0, 100.0)
+    b.withdraw(30.0)  # O_j
+    b.deposit(500.0)  # Q_j
+    assert b.charge == pytest.approx(min(100.0 - 30.0 + 500.0, 10_000.0))
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["deposit", "withdraw"]), st.floats(0.0, 50.0)),
+        max_size=40,
+    )
+)
+def test_random_ops_preserve_invariants(ops):
+    """Charge stays in [0, capacity]; the energy ledger balances."""
+    b = Battery(120.0, 60.0)
+    for op, amount in ops:
+        if op == "deposit":
+            b.deposit(amount)
+        else:
+            b.withdraw(min(amount, b.charge))
+        assert 0.0 <= b.charge <= b.capacity + 1e-9
+    # Conservation: initial + stored deposits - withdrawals = charge.
+    stored = b.total_deposited - b.total_spilled
+    assert b.charge == pytest.approx(60.0 + stored - b.total_withdrawn, abs=1e-6)

@@ -1,0 +1,64 @@
+"""Per-tour budget policies."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.budget import (
+    BudgetPolicy,
+    CappedBudgetPolicy,
+    FractionBudgetPolicy,
+    StoredEnergyBudgetPolicy,
+)
+
+
+@pytest.fixture
+def battery():
+    return Battery(100.0, 40.0)
+
+
+def test_stored_energy_policy_returns_full_charge(battery):
+    assert StoredEnergyBudgetPolicy().budget(battery, 0) == 40.0
+
+
+def test_stored_energy_policy_tracks_charge(battery):
+    policy = StoredEnergyBudgetPolicy()
+    battery.withdraw(15.0)
+    assert policy.budget(battery, 1) == pytest.approx(25.0)
+
+
+def test_fraction_policy(battery):
+    assert FractionBudgetPolicy(0.5).budget(battery, 0) == pytest.approx(20.0)
+
+
+def test_fraction_policy_bounds():
+    with pytest.raises(ValueError):
+        FractionBudgetPolicy(1.5)
+    with pytest.raises(ValueError):
+        FractionBudgetPolicy(-0.1)
+
+
+def test_fraction_zero_means_no_budget(battery):
+    assert FractionBudgetPolicy(0.0).budget(battery, 0) == 0.0
+
+
+def test_capped_policy_caps(battery):
+    assert CappedBudgetPolicy(10.0).budget(battery, 0) == 10.0
+
+
+def test_capped_policy_below_cap(battery):
+    assert CappedBudgetPolicy(70.0).budget(battery, 0) == 40.0
+
+
+def test_capped_policy_requires_positive_cap():
+    with pytest.raises(ValueError):
+        CappedBudgetPolicy(0.0)
+
+
+def test_all_satisfy_protocol(battery):
+    for policy in (
+        StoredEnergyBudgetPolicy(),
+        FractionBudgetPolicy(0.3),
+        CappedBudgetPolicy(5.0),
+    ):
+        assert isinstance(policy, BudgetPolicy)
+        assert policy.budget(battery, 0) >= 0.0

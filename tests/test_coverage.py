@@ -1,0 +1,88 @@
+"""Coverage/contention analytics."""
+
+import numpy as np
+import pytest
+
+from repro.network.coverage import analyze_coverage
+from repro.sim.scenario import ScenarioConfig
+from tests.conftest import make_instance
+
+
+@pytest.fixture
+def inst():
+    return make_instance(
+        8,
+        1.0,
+        [
+            {"window": (0, 3), "rates": [10, 20, 30, 40], "powers": [1] * 4, "budget": 9.0},
+            {"window": (2, 5), "rates": [50, 5, 5, 5], "powers": [1] * 4, "budget": 9.0},
+            {"window": None, "rates": [], "powers": [], "budget": 9.0},
+        ],
+    )
+
+
+def test_competitors_per_slot(inst):
+    report = analyze_coverage(inst)
+    np.testing.assert_array_equal(
+        report.competitors_per_slot, [1, 1, 2, 2, 1, 1, 0, 0]
+    )
+
+
+def test_uncovered_slots(inst):
+    report = analyze_coverage(inst)
+    np.testing.assert_array_equal(report.uncovered_slots, [6, 7])
+    assert report.coverage_fraction == pytest.approx(0.75)
+
+
+def test_window_sizes(inst):
+    report = analyze_coverage(inst)
+    np.testing.assert_array_equal(report.window_sizes, [4, 4, 0])
+
+
+def test_best_rate_envelope(inst):
+    report = analyze_coverage(inst)
+    np.testing.assert_allclose(
+        report.best_rate_per_slot, [10, 20, 50, 40, 5, 5, 0, 0]
+    )
+
+
+def test_throughput_ceiling(inst):
+    report = analyze_coverage(inst)
+    assert report.throughput_ceiling_bits(2.0) == pytest.approx(2 * 130.0)
+
+
+def test_contention_stats(inst):
+    report = analyze_coverage(inst)
+    assert report.mean_contention == pytest.approx(8 / 6)
+    assert report.max_contention == 2
+
+
+def test_density_premise(inst):
+    report = analyze_coverage(inst)
+    assert report.is_densely_deployed(gamma=2) is False  # slot 6 starts an interval
+    assert analyze_coverage(
+        make_instance(
+            4,
+            1.0,
+            [{"window": (0, 3), "rates": [1] * 4, "powers": [1] * 4, "budget": 1.0}],
+        )
+    ).is_densely_deployed(gamma=2)
+
+
+def test_ceiling_bounds_lp_bound():
+    """The energy-free ceiling dominates even the LP relaxation."""
+    from repro.core.lp import dcmp_lp_upper_bound
+
+    scenario = ScenarioConfig(num_sensors=40, path_length=2000.0).build(seed=2)
+    inst = scenario.instance()
+    report = analyze_coverage(inst)
+    assert report.throughput_ceiling_bits(inst.slot_duration) >= dcmp_lp_upper_bound(inst)
+
+
+def test_paper_scenario_is_dense():
+    """At the paper's densities the deployment premise holds."""
+    scenario = ScenarioConfig(num_sensors=300).build(seed=0)
+    inst = scenario.instance()
+    report = analyze_coverage(inst)
+    assert report.coverage_fraction > 0.99
+    assert report.is_densely_deployed(scenario.gamma)

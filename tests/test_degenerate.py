@@ -1,0 +1,128 @@
+"""Degenerate and adversarial inputs across the whole stack.
+
+A production library must not fall over on empty networks, unreachable
+sensors, zero budgets, single-slot tours, or a Γ larger than the tour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, get_algorithm, run_tour
+from repro.core.allocation import Allocation
+from repro.core.offline_appro import offline_appro
+from repro.core.offline_maxmatch import offline_maxmatch
+from repro.online.online_appro import online_appro
+from repro.online.online_maxmatch import online_maxmatch
+from repro.sim.algorithms import ALGORITHMS
+from tests.conftest import make_instance
+
+
+ALL_NAMES = sorted(ALGORITHMS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_empty_network(name):
+    scenario = ScenarioConfig(
+        num_sensors=0, path_length=1500.0, fixed_power=0.3
+    ).build(seed=0)
+    result = run_tour(scenario, get_algorithm(name), mutate=False)
+    assert result.collected_bits == 0.0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_single_sensor_network(name):
+    scenario = ScenarioConfig(
+        num_sensors=1, path_length=1500.0, fixed_power=0.3
+    ).build(seed=1)
+    result = run_tour(scenario, get_algorithm(name), mutate=False)
+    result.allocation.check_feasible(scenario.instance())
+
+
+def test_all_sensors_unreachable():
+    inst = make_instance(
+        5,
+        1.0,
+        [{"window": None, "rates": [], "powers": [], "budget": 3.0}] * 3,
+    )
+    assert offline_appro(inst).num_assigned() == 0
+    assert offline_maxmatch(inst).num_assigned() == 0
+    assert online_appro(inst, 2).collected_bits == 0.0
+    assert online_maxmatch(inst, 2).collected_bits == 0.0
+
+
+def test_all_zero_budgets():
+    inst = make_instance(
+        4,
+        1.0,
+        [
+            {"window": (0, 3), "rates": [5.0] * 4, "powers": [1.0] * 4, "budget": 0.0},
+            {"window": (0, 3), "rates": [3.0] * 4, "powers": [1.0] * 4, "budget": 0.0},
+        ],
+    )
+    for alloc in (offline_appro(inst), offline_maxmatch(inst, fixed_power=1.0)):
+        assert alloc.num_assigned() == 0
+    assert online_appro(inst, 2).collected_bits == 0.0
+
+
+def test_single_slot_tour():
+    inst = make_instance(
+        1,
+        1.0,
+        [
+            {"window": (0, 0), "rates": [5.0], "powers": [1.0], "budget": 2.0},
+            {"window": (0, 0), "rates": [9.0], "powers": [1.0], "budget": 2.0},
+        ],
+    )
+    assert offline_appro(inst).collected_bits(inst) == pytest.approx(9.0)
+    assert online_appro(inst, 1).collected_bits == pytest.approx(9.0)
+
+
+def test_gamma_larger_than_tour():
+    """One giant probe interval: online degenerates to offline over the
+    sensors that hear the (single) probe at slot 0."""
+    inst = make_instance(
+        4,
+        1.0,
+        [{"window": (0, 3), "rates": [1.0, 2.0, 3.0, 4.0], "powers": [1.0] * 4, "budget": 9.0}],
+    )
+    result = online_appro(inst, 100)
+    assert result.collected_bits == pytest.approx(10.0)
+    assert len(result.intervals) == 1
+
+
+def test_zero_rate_everywhere():
+    inst = make_instance(
+        3,
+        1.0,
+        [{"window": (0, 2), "rates": [0.0] * 3, "powers": [0.3] * 3, "budget": 5.0}],
+    )
+    assert offline_appro(inst).collected_bits(inst) == 0.0
+    # MaxMatch: no transmittable slot -> empty allocation, not an error.
+    assert offline_maxmatch(inst).num_assigned() == 0
+
+
+def test_budget_smaller_than_any_slot_cost():
+    inst = make_instance(
+        3,
+        1.0,
+        [{"window": (0, 2), "rates": [9.0] * 3, "powers": [2.0] * 3, "budget": 1.0}],
+    )
+    for alloc in (offline_appro(inst), offline_maxmatch(inst, fixed_power=2.0)):
+        assert alloc.num_assigned() == 0
+
+
+def test_huge_budget_takes_whole_window():
+    inst = make_instance(
+        5,
+        1.0,
+        [{"window": (1, 4), "rates": [2.0] * 4, "powers": [1.0] * 4, "budget": 1e9}],
+    )
+    alloc = offline_appro(inst)
+    assert alloc.num_assigned() == 4
+
+
+def test_mutating_tour_on_zero_sensor_network():
+    scenario = ScenarioConfig(num_sensors=0, path_length=1500.0).build(seed=0)
+    result = run_tour(scenario, get_algorithm("Offline_Appro"), mutate=True)
+    assert result.collected_bits == 0.0
+    assert result.energy_spent.shape == (0,)

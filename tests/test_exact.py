@@ -1,0 +1,60 @@
+"""Brute-force oracle sanity."""
+
+import pytest
+
+from repro.core.exact import brute_force_optimum
+from tests.conftest import make_instance, random_instance
+
+
+def test_hand_computed_optimum():
+    # Sensor 0 can afford one slot (budget 2, cost 2): takes slot 1 (20).
+    # Sensor 1 then takes slot 0 at 8.
+    inst = make_instance(
+        2,
+        1.0,
+        [
+            {"window": (0, 1), "rates": [10.0, 20.0], "powers": [2.0, 2.0], "budget": 2.0},
+            {"window": (0, 1), "rates": [8.0, 8.0], "powers": [1.0, 1.0], "budget": 9.0},
+        ],
+    )
+    alloc = brute_force_optimum(inst)
+    assert alloc.collected_bits(inst) == pytest.approx(28.0)
+    assert alloc.slot_owner[1] == 0
+    assert alloc.slot_owner[0] == 1
+
+
+def test_idle_slot_can_be_optimal():
+    # Assigning the slot would overdraw; optimum leaves it idle.
+    inst = make_instance(
+        1,
+        1.0,
+        [{"window": (0, 0), "rates": [5.0], "powers": [3.0], "budget": 1.0}],
+    )
+    alloc = brute_force_optimum(inst)
+    assert alloc.num_assigned() == 0
+
+
+def test_result_always_feasible(rng):
+    for _ in range(10):
+        inst = random_instance(rng, num_slots=7, num_sensors=3)
+        alloc = brute_force_optimum(inst)
+        alloc.check_feasible(inst)
+
+
+def test_node_limit_enforced(rng):
+    inst = random_instance(rng, num_slots=14, num_sensors=8, max_window=14)
+    with pytest.raises(RuntimeError):
+        brute_force_optimum(inst, max_nodes=50)
+
+
+def test_prefers_higher_rate_competitor():
+    inst = make_instance(
+        1,
+        1.0,
+        [
+            {"window": (0, 0), "rates": [3.0], "powers": [1.0], "budget": 9.0},
+            {"window": (0, 0), "rates": [7.0], "powers": [1.0], "budget": 9.0},
+        ],
+    )
+    alloc = brute_force_optimum(inst)
+    assert alloc.slot_owner[0] == 1

@@ -1,0 +1,151 @@
+"""Harvest models: constant, solar, Markov, trace playback."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy.harvester import (
+    ConstantHarvester,
+    HarvestModel,
+    MarkovHarvester,
+    SolarHarvester,
+    TraceHarvester,
+)
+from repro.energy.solar import sunny_profile
+
+HOUR = 3600.0
+
+
+class TestConstantHarvester:
+    def test_power(self):
+        assert ConstantHarvester(0.5).power(123.0) == 0.5
+
+    def test_energy(self):
+        assert ConstantHarvester(2.0).energy(10.0, 25.0) == pytest.approx(30.0)
+
+    def test_zero_power_allowed(self):
+        assert ConstantHarvester(0.0).energy(0.0, 100.0) == 0.0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantHarvester(-1.0)
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantHarvester(1.0).energy(10.0, 5.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(ConstantHarvester(1.0), HarvestModel)
+
+
+class TestSolarHarvester:
+    def test_scales_with_area(self):
+        profile = sunny_profile()
+        small = SolarHarvester(profile, 100.0)
+        big = SolarHarvester(profile, 200.0)
+        assert big.energy(10 * HOUR, 14 * HOUR) == pytest.approx(
+            2.0 * small.energy(10 * HOUR, 14 * HOUR)
+        )
+
+    def test_night_harvest_zero(self):
+        h = SolarHarvester(sunny_profile(), 100.0)
+        assert h.energy(0.0, 4 * HOUR) == pytest.approx(0.0, abs=1e-9)
+
+    def test_power_at_noon_positive(self):
+        h = SolarHarvester(sunny_profile(), 100.0)
+        assert h.power(12 * HOUR) > 0
+
+    def test_paper_panel_daily_energy_magnitude(self):
+        # 10x10 mm panel: ~86 J per sunny day (172 J per 48 h).
+        h = SolarHarvester(sunny_profile(), 100.0)
+        daily = h.energy(0.0, 24 * HOUR)
+        assert 80.0 < daily < 95.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SolarHarvester(sunny_profile(), 10.0), HarvestModel)
+
+
+class TestMarkovHarvester:
+    def test_deterministic_given_seed(self):
+        a = MarkovHarvester(1.0, seed=4)
+        b = MarkovHarvester(1.0, seed=4)
+        assert a.energy(0.0, 10_000.0) == pytest.approx(b.energy(0.0, 10_000.0))
+
+    def test_energy_bounded_by_full_on(self):
+        h = MarkovHarvester(2.0, mean_on=100.0, mean_off=100.0, seed=1)
+        e = h.energy(0.0, 5000.0)
+        assert 0.0 <= e <= 2.0 * 5000.0
+
+    def test_starts_on(self):
+        h = MarkovHarvester(1.5, seed=0)
+        assert h.power(0.0) == 1.5
+
+    def test_energy_additive(self):
+        h = MarkovHarvester(1.0, mean_on=50.0, mean_off=50.0, seed=2)
+        total = h.energy(0.0, 2000.0)
+        split = h.energy(0.0, 777.0) + h.energy(777.0, 2000.0)
+        assert total == pytest.approx(split)
+
+    def test_energy_beyond_initial_horizon(self):
+        h = MarkovHarvester(1.0, seed=3, horizon=100.0)
+        # Query far past the pre-sampled horizon: path extends lazily.
+        assert h.energy(0.0, 50_000.0) >= 0.0
+
+    def test_long_run_mean_near_duty_cycle(self):
+        h = MarkovHarvester(1.0, mean_on=100.0, mean_off=300.0, seed=5)
+        horizon = 2_000_000.0
+        duty = h.energy(0.0, horizon) / horizon
+        assert duty == pytest.approx(0.25, abs=0.05)
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovHarvester(1.0).energy(5.0, 1.0)
+
+
+class TestTraceHarvester:
+    def test_piecewise_energy_exact(self):
+        h = TraceHarvester([0.0, 10.0, 20.0], [1.0, 3.0, 0.5])
+        # [0,10): 1 W, [10,20): 3 W, beyond: 0.5 W.
+        assert h.energy(0.0, 20.0) == pytest.approx(10.0 + 30.0)
+        assert h.energy(5.0, 15.0) == pytest.approx(5.0 + 15.0)
+        assert h.energy(20.0, 24.0) == pytest.approx(2.0)
+
+    def test_power_lookup(self):
+        h = TraceHarvester([0.0, 10.0], [1.0, 2.0])
+        assert h.power(5.0) == 1.0
+        assert h.power(10.0) == 2.0
+        assert h.power(100.0) == 2.0
+
+    def test_before_trace_extends_first_value(self):
+        h = TraceHarvester([10.0, 20.0], [2.0, 1.0])
+        assert h.power(0.0) == 2.0
+        assert h.energy(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(ValueError):
+            TraceHarvester([0.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            TraceHarvester([0.0, 1.0], [1.0, -2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            TraceHarvester([0.0, 1.0], [1.0])
+
+    @given(
+        st.lists(st.floats(0.0, 100.0), min_size=2, max_size=8, unique=True),
+        st.data(),
+    )
+    def test_energy_matches_numeric_integral(self, times, data):
+        times = sorted(times)
+        powers = [
+            data.draw(st.floats(0.0, 5.0)) for _ in times
+        ]
+        h = TraceHarvester(times, powers)
+        t0 = data.draw(st.floats(times[0], times[-1]))
+        t1 = data.draw(st.floats(t0, times[-1]))
+        grid = np.linspace(t0, t1, 4001)
+        numeric = np.trapezoid([h.power(t) for t in grid], grid)
+        assert h.energy(t0, t1) == pytest.approx(numeric, abs=0.2)

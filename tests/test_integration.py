@@ -1,0 +1,128 @@
+"""End-to-end invariants across the whole stack (paper-shaped scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ScenarioConfig,
+    dcmp_lp_upper_bound,
+    get_algorithm,
+    run_tour,
+)
+
+MULTI_ALGOS = ["Offline_Appro", "Online_Appro", "Baseline[greedy_profit]",
+               "Baseline[greedy_density]", "Baseline[random]", "Baseline[round_robin]"]
+FIXED_ALGOS = ["Offline_MaxMatch", "Online_MaxMatch"] + MULTI_ALGOS
+
+
+@pytest.fixture(scope="module", params=[0, 1, 2])
+def multi_case(request):
+    scenario = ScenarioConfig(num_sensors=50, path_length=2500.0).build(seed=request.param)
+    inst = scenario.instance()
+    results = {
+        name: run_tour(scenario, get_algorithm(name), mutate=False)
+        for name in MULTI_ALGOS
+    }
+    return scenario, inst, results
+
+
+@pytest.fixture(scope="module", params=[0, 1])
+def fixed_case(request):
+    scenario = ScenarioConfig(
+        num_sensors=50, path_length=2500.0, fixed_power=0.3
+    ).build(seed=request.param)
+    inst = scenario.instance()
+    results = {
+        name: run_tour(scenario, get_algorithm(name), mutate=False)
+        for name in FIXED_ALGOS
+    }
+    return scenario, inst, results
+
+
+class TestMultiRate:
+    def test_all_feasible(self, multi_case):
+        _, inst, results = multi_case
+        for name, result in results.items():
+            result.allocation.check_feasible(inst)
+
+    def test_all_below_lp_bound(self, multi_case):
+        _, inst, results = multi_case
+        bound = dcmp_lp_upper_bound(inst)
+        for name, result in results.items():
+            assert result.collected_bits <= bound + 1e-6, name
+
+    def test_offline_appro_above_half_lp(self, multi_case):
+        """1/2 of OPT <= 1/2 of LP is not implied, but empirically the
+        algorithm clears half the *LP bound* comfortably."""
+        _, inst, results = multi_case
+        bound = dcmp_lp_upper_bound(inst)
+        assert results["Offline_Appro"].collected_bits >= 0.5 * bound
+
+    def test_informed_beats_random(self, multi_case):
+        _, _, results = multi_case
+        assert (
+            results["Offline_Appro"].collected_bits
+            > results["Baseline[random]"].collected_bits
+        )
+
+    def test_online_close_to_offline(self, multi_case):
+        _, _, results = multi_case
+        ratio = (
+            results["Online_Appro"].collected_bits
+            / results["Offline_Appro"].collected_bits
+        )
+        assert ratio >= 0.80
+
+
+class TestFixedPower:
+    def test_maxmatch_dominates_everything(self, fixed_case):
+        _, inst, results = fixed_case
+        top = results["Offline_MaxMatch"].collected_bits
+        for name, result in results.items():
+            assert result.collected_bits <= top + 1e-6, name
+
+    def test_offline_maxmatch_hits_lp_when_integral(self, fixed_case):
+        """MaxMatch is the exact integer optimum; the LP can only exceed
+        it by fractional-budget slack."""
+        _, inst, results = fixed_case
+        bound = dcmp_lp_upper_bound(inst)
+        got = results["Offline_MaxMatch"].collected_bits
+        assert got <= bound + 1e-6
+        assert got >= 0.9 * bound
+
+    def test_online_variants_ordered(self, fixed_case):
+        _, _, results = fixed_case
+        assert (
+            results["Online_MaxMatch"].collected_bits
+            >= results["Online_Appro"].collected_bits - 1e-6
+        )
+
+
+class TestCrossSpeed:
+    def test_throughput_falls_with_speed(self):
+        """Figure 3's speed effect: ~2x from 5 to 10 m/s (mean of seeds)."""
+        means = {}
+        for speed in (5.0, 10.0):
+            vals = []
+            for seed in range(3):
+                scenario = ScenarioConfig(
+                    num_sensors=60, path_length=3000.0, sink_speed=speed
+                ).build(seed=seed)
+                vals.append(
+                    run_tour(scenario, get_algorithm("Offline_Appro"), mutate=False).collected_bits
+                )
+            means[speed] = np.mean(vals)
+        ratio = means[5.0] / means[10.0]
+        assert 1.5 <= ratio <= 3.0
+
+    def test_throughput_grows_with_n(self):
+        means = []
+        for n in (30, 90):
+            vals = []
+            for seed in range(3):
+                scenario = ScenarioConfig(num_sensors=n, path_length=3000.0).build(seed=seed)
+                vals.append(
+                    run_tour(scenario, get_algorithm("Offline_Appro"), mutate=False).collected_bits
+                )
+            means.append(np.mean(vals))
+        assert means[1] > means[0]

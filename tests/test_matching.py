@@ -1,0 +1,174 @@
+"""Max-weight bipartite b-matching: three engines, cross-validated."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import MatchingResult, max_weight_b_matching
+
+ENGINES = ["flow", "lsa", "lp"]
+
+
+def check_matching(result, edges, caps, num_right):
+    """Structural validity + weight consistency."""
+    edge_set = {}
+    for u, v, w in edges:
+        edge_set[(u, v)] = max(edge_set.get((u, v), 0.0), w)
+    left_used = {}
+    right_used = set()
+    total = 0.0
+    for u, v in result.pairs:
+        assert (u, v) in edge_set
+        assert v not in right_used, f"right node {v} matched twice"
+        right_used.add(v)
+        left_used[u] = left_used.get(u, 0) + 1
+        assert left_used[u] <= caps[u], f"left node {u} over capacity"
+        total += edge_set[(u, v)]
+    assert result.weight == pytest.approx(total)
+
+
+def brute_force_matching(edges, caps, num_right):
+    """Reference optimum by DFS over right nodes (small instances)."""
+    dedup = {}
+    for u, v, w in edges:
+        if w > 0:
+            dedup[(u, v)] = max(dedup.get((u, v), 0.0), w)
+    by_right = {}
+    for (u, v), w in dedup.items():
+        by_right.setdefault(v, []).append((u, w))
+    rights = sorted(by_right)
+    used = dict.fromkeys(range(len(caps)), 0)
+
+    def dfs(k):
+        if k == len(rights):
+            return 0.0
+        best = dfs(k + 1)  # leave unmatched
+        for u, w in by_right[rights[k]]:
+            if used[u] < caps[u]:
+                used[u] += 1
+                best = max(best, w + dfs(k + 1))
+                used[u] -= 1
+        return best
+
+    return dfs(0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngines:
+    def test_empty(self, engine):
+        result = max_weight_b_matching([], [1, 1], 3, engine=engine)
+        assert result.pairs == () and result.weight == 0.0
+
+    def test_single_edge(self, engine):
+        result = max_weight_b_matching([(0, 0, 2.5)], [1], 1, engine=engine)
+        assert result.pairs == ((0, 0),)
+        assert result.weight == pytest.approx(2.5)
+
+    def test_capacity_zero_blocks(self, engine):
+        result = max_weight_b_matching([(0, 0, 2.5)], [0], 1, engine=engine)
+        assert result.pairs == ()
+
+    def test_prefers_heavy_edge(self, engine):
+        edges = [(0, 0, 1.0), (1, 0, 3.0)]
+        result = max_weight_b_matching(edges, [1, 1], 1, engine=engine)
+        assert result.pairs == ((1, 0),)
+
+    def test_b_matching_capacity(self, engine):
+        edges = [(0, 0, 5.0), (0, 1, 4.0), (0, 2, 3.0)]
+        result = max_weight_b_matching(edges, [2], 3, engine=engine)
+        assert result.weight == pytest.approx(9.0)
+        assert len(result.pairs) == 2
+
+    def test_non_positive_weights_ignored(self, engine):
+        edges = [(0, 0, -1.0), (0, 1, 0.0), (0, 2, 1.0)]
+        result = max_weight_b_matching(edges, [3], 3, engine=engine)
+        assert result.pairs == ((0, 2),)
+
+    def test_weight_beats_cardinality(self, engine):
+        """Max weight is NOT max cardinality here: the single heavy edge
+        conflicts with two light ones."""
+        edges = [(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0)]
+        result = max_weight_b_matching(edges, [1, 1], 2, engine=engine)
+        # The heavy edge (0,0)=10 blocks both light edges (left-0's
+        # capacity kills (0,1); right-0 kills (1,0)); 10 > 1+1, so the
+        # optimum is the *smaller-cardinality* matching of weight 10.
+        assert len(result.pairs) == 1
+        assert result.weight == pytest.approx(10.0)
+        assert result.weight == pytest.approx(
+            brute_force_matching(edges, [1, 1], 2)
+        )
+
+    def test_parallel_edges_keep_heaviest(self, engine):
+        edges = [(0, 0, 1.0), (0, 0, 7.0), (0, 0, 3.0)]
+        result = max_weight_b_matching(edges, [1], 1, engine=engine)
+        assert result.weight == pytest.approx(7.0)
+
+    def test_matches_brute_force_random(self, engine):
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            num_left = int(rng.integers(1, 5))
+            num_right = int(rng.integers(1, 6))
+            caps = rng.integers(0, 3, num_left).tolist()
+            edges = [
+                (int(u), int(v), float(rng.uniform(0.1, 10.0)))
+                for u in range(num_left)
+                for v in range(num_right)
+                if rng.random() < 0.6
+            ]
+            result = max_weight_b_matching(edges, caps, num_right, engine=engine)
+            check_matching(result, edges, caps, num_right)
+            assert result.weight == pytest.approx(
+                brute_force_matching(edges, caps, num_right)
+            )
+
+
+class TestValidation:
+    def test_bad_left_endpoint(self):
+        with pytest.raises(ValueError):
+            max_weight_b_matching([(5, 0, 1.0)], [1], 1)
+
+    def test_bad_right_endpoint(self):
+        with pytest.raises(ValueError):
+            max_weight_b_matching([(0, 3, 1.0)], [1], 2)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError):
+            max_weight_b_matching([(0, 0, 1.0)], [-1], 1)
+
+    def test_nan_weight(self):
+        with pytest.raises(ValueError):
+            max_weight_b_matching([(0, 0, float("nan"))], [1], 1)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            max_weight_b_matching([(0, 0, 1.0)], [1], 1, engine="magic")
+
+
+class TestResult:
+    def test_right_of(self):
+        result = MatchingResult(((0, 1), (2, 3)), 5.0)
+        np.testing.assert_array_equal(result.right_of(5), [-1, 0, -1, 2, -1])
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_engines_agree_hypothesis(data):
+    """All three engines return the same optimal weight."""
+    num_left = data.draw(st.integers(1, 4))
+    num_right = data.draw(st.integers(1, 5))
+    caps = [data.draw(st.integers(0, 3)) for _ in range(num_left)]
+    edges = []
+    for u in range(num_left):
+        for v in range(num_right):
+            if data.draw(st.booleans()):
+                edges.append((u, v, data.draw(st.floats(0.1, 10.0))))
+    results = {
+        engine: max_weight_b_matching(edges, caps, num_right, engine=engine)
+        for engine in ENGINES
+    }
+    weights = {e: r.weight for e, r in results.items()}
+    assert weights["flow"] == pytest.approx(weights["lsa"])
+    assert weights["flow"] == pytest.approx(weights["lp"])
+    for engine, result in results.items():
+        check_matching(result, edges, caps, num_right)

@@ -1,0 +1,92 @@
+"""Final-mile coverage: bench scale config, CLI guards, merge properties."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocation
+
+
+class TestBenchScale:
+    def test_quick_default(self, monkeypatch):
+        from benchmarks.conftest import bench_scale
+
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        scale = bench_scale()
+        assert scale["mode"] == "quick"
+        assert scale["repeats"] == 3
+        assert scale["sizes"] == (100, 300, 600)
+
+    def test_full_scale(self, monkeypatch):
+        from benchmarks.conftest import bench_scale
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        scale = bench_scale()
+        assert scale["repeats"] == 50  # the paper's methodology
+        assert scale["sizes"] == (100, 200, 300, 400, 500, 600)
+
+    def test_save_report_writes(self, tmp_path, monkeypatch):
+        import benchmarks.conftest as bc
+
+        monkeypatch.setattr(bc, "RESULTS_DIR", tmp_path)
+        path = bc.save_report("unit_test", "hello\n")
+        assert path.read_text() == "hello\n"
+
+
+class TestCliGuards:
+    def test_unknown_command_exits(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])
+
+    def test_help_mentions_paper(self):
+        from repro.cli import build_parser
+
+        assert "Energy Harvesting" in build_parser().description
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_merge_is_union_when_disjoint(data):
+    """Merging allocations over disjoint slot ranges unions them."""
+    t = data.draw(st.integers(4, 16))
+    cut = data.draw(st.integers(1, t - 1))
+    left_slots = {
+        j: data.draw(st.integers(0, 3))
+        for j in range(cut)
+        if data.draw(st.booleans())
+    }
+    right_slots = {
+        j: data.draw(st.integers(0, 3))
+        for j in range(t - cut)
+        if data.draw(st.booleans())
+    }
+    base = Allocation.from_sensor_slots(
+        t, {s: [j for j, o in left_slots.items() if o == s] for s in range(4)}
+    )
+    sub = Allocation.from_sensor_slots(
+        t - cut, {s: [j for j, o in right_slots.items() if o == s] for s in range(4)}
+    )
+    merged = base.merge(sub, offset=cut)
+    for j in range(t):
+        if j < cut:
+            expected = left_slots.get(j, -1)
+        else:
+            expected = right_slots.get(j - cut, -1)
+        assert merged.slot_owner[j] == expected
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_sweep_seed_derivation_stable(root):
+    """Seed derivation is pure: same inputs, same 64-bit output."""
+    from repro.experiments.sweep import _derive_seed
+
+    a = _derive_seed(root, (3,), 1)
+    b = _derive_seed(root, (3,), 1)
+    assert a == b
+    assert _derive_seed(root, (3,), 2) != a or root < 0  # repeats differ

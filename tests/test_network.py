@@ -1,0 +1,99 @@
+"""SensorNetwork container and Sensor entity."""
+
+import numpy as np
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.budget import CappedBudgetPolicy
+from repro.energy.harvester import ConstantHarvester
+from repro.network.geometry import LinearPath, Point
+from repro.network.network import SensorNetwork
+from repro.network.sensor import Sensor
+
+
+@pytest.fixture
+def network():
+    positions = np.array([[100.0, 10.0], [200.0, -20.0], [300.0, 0.0]])
+    return SensorNetwork.build(
+        LinearPath(1000.0),
+        positions,
+        battery_capacity=100.0,
+        initial_charges=np.array([10.0, 20.0, 30.0]),
+        harvester_factory=lambda i: ConstantHarvester(0.1 * (i + 1)),
+    )
+
+
+class TestSensor:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Sensor(-1, Point(0, 0), Battery(10.0))
+
+    def test_xy(self):
+        s = Sensor(0, Point(3.0, 4.0), Battery(10.0))
+        np.testing.assert_array_equal(s.xy, [3.0, 4.0])
+
+    def test_harvested_energy_without_harvester(self):
+        s = Sensor(0, Point(0, 0), Battery(10.0))
+        assert s.harvested_energy(0.0, 100.0) == 0.0
+
+    def test_harvested_energy_with_harvester(self):
+        s = Sensor(0, Point(0, 0), Battery(10.0), ConstantHarvester(0.5))
+        assert s.harvested_energy(0.0, 100.0) == pytest.approx(50.0)
+
+
+class TestSensorNetwork:
+    def test_build_basic(self, network):
+        assert network.num_sensors == 3
+        assert len(network) == 3
+
+    def test_positions_readonly(self, network):
+        with pytest.raises(ValueError):
+            network.positions[0, 0] = 99.0
+
+    def test_charges(self, network):
+        np.testing.assert_allclose(network.charges(), [10.0, 20.0, 30.0])
+
+    def test_default_budgets_are_charges(self, network):
+        np.testing.assert_allclose(network.budgets(), [10.0, 20.0, 30.0])
+
+    def test_budget_policy_applied(self, network):
+        np.testing.assert_allclose(
+            network.budgets(CappedBudgetPolicy(15.0)), [10.0, 15.0, 15.0]
+        )
+
+    def test_scalar_initial_charge_broadcast(self):
+        net = SensorNetwork.build(
+            LinearPath(100.0), np.array([[1.0, 0.0], [2.0, 0.0]]), 50.0, 5.0
+        )
+        np.testing.assert_allclose(net.charges(), [5.0, 5.0])
+
+    def test_harvesters_assigned_per_node(self, network):
+        assert network[0].harvester.power(0.0) == pytest.approx(0.1)
+        assert network[2].harvester.power(0.0) == pytest.approx(0.3)
+
+    def test_no_harvester_factory(self):
+        net = SensorNetwork.build(
+            LinearPath(100.0), np.array([[1.0, 0.0]]), 50.0, 5.0
+        )
+        assert net[0].harvester is None
+
+    def test_iteration_order(self, network):
+        ids = [s.node_id for s in network]
+        assert ids == [0, 1, 2]
+
+    def test_bad_positions_shape(self):
+        with pytest.raises(ValueError):
+            SensorNetwork.build(LinearPath(100.0), np.zeros((3, 3)), 50.0, 5.0)
+
+    def test_out_of_order_ids_rejected(self):
+        sensors = [
+            Sensor(1, Point(0, 0), Battery(10.0)),
+            Sensor(0, Point(1, 0), Battery(10.0)),
+        ]
+        with pytest.raises(ValueError):
+            SensorNetwork(LinearPath(100.0), sensors)
+
+    def test_empty_network(self):
+        net = SensorNetwork(LinearPath(100.0), [])
+        assert net.num_sensors == 0
+        assert net.positions.shape == (0, 2)

@@ -1,0 +1,157 @@
+"""Offline_MaxMatch: exactness on the fixed-power special case."""
+
+import numpy as np
+import pytest
+
+from repro.core.exact import brute_force_optimum
+from repro.core.lp import dcmp_lp_upper_bound
+from repro.core.offline_maxmatch import (
+    build_matching_edges,
+    fixed_power_of,
+    offline_maxmatch,
+)
+from tests.conftest import make_instance, random_instance
+
+
+def fixed_instance(rng, **kwargs):
+    return random_instance(rng, fixed_power=0.3, **kwargs)
+
+
+class TestFixedPowerDetection:
+    def test_detects_single_power(self, rng):
+        inst = fixed_instance(rng)
+        assert fixed_power_of(inst) == pytest.approx(0.3)
+
+    def test_rejects_multi_power(self, rng):
+        inst = random_instance(rng, num_slots=10, num_sensors=5)
+        with pytest.raises(ValueError, match="single-power"):
+            fixed_power_of(inst)
+
+    def test_rejects_empty(self):
+        inst = make_instance(
+            3, 1.0, [{"window": None, "rates": [], "powers": [], "budget": 1.0}]
+        )
+        with pytest.raises(ValueError):
+            fixed_power_of(inst)
+
+    def test_zero_rate_slots_ignored_for_detection(self):
+        # A zero-rate slot's power is irrelevant (never transmitted).
+        inst = make_instance(
+            2,
+            1.0,
+            [
+                {
+                    "window": (0, 1),
+                    "rates": [5.0, 0.0],
+                    "powers": [0.3, 0.9],
+                    "budget": 2.0,
+                }
+            ],
+        )
+        assert fixed_power_of(inst) == pytest.approx(0.3)
+
+
+class TestEdges:
+    def test_capacity_formula(self):
+        inst = make_instance(
+            4,
+            1.0,
+            [
+                {
+                    "window": (0, 3),
+                    "rates": [1.0, 2.0, 3.0, 4.0],
+                    "powers": [0.5] * 4,
+                    "budget": 1.6,  # floor(1.6/0.5) = 3
+                }
+            ],
+        )
+        edges, caps = build_matching_edges(inst)
+        assert caps[0] == 3
+        assert len(edges) == 4
+
+    def test_capacity_limited_by_window(self):
+        inst = make_instance(
+            4,
+            1.0,
+            [
+                {
+                    "window": (1, 2),
+                    "rates": [1.0, 2.0],
+                    "powers": [0.5, 0.5],
+                    "budget": 99.0,
+                }
+            ],
+        )
+        _, caps = build_matching_edges(inst)
+        assert caps[0] == 2
+
+    def test_zero_rate_slots_not_edges(self):
+        inst = make_instance(
+            3,
+            1.0,
+            [
+                {
+                    "window": (0, 2),
+                    "rates": [1.0, 0.0, 2.0],
+                    "powers": [0.5] * 3,
+                    "budget": 9.0,
+                }
+            ],
+        )
+        edges, _ = build_matching_edges(inst)
+        assert {(u, v) for u, v, _ in edges} == {(0, 0), (0, 2)}
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("engine", ["flow", "lsa", "lp"])
+    def test_matches_brute_force(self, rng, engine):
+        for _ in range(12):
+            inst = fixed_instance(rng, num_slots=8, num_sensors=3, max_window=5)
+            opt = brute_force_optimum(inst).collected_bits(inst)
+            got = offline_maxmatch(inst, engine=engine).collected_bits(inst)
+            assert got == pytest.approx(opt)
+
+    def test_feasible(self, rng):
+        for _ in range(10):
+            inst = fixed_instance(rng, num_slots=12, num_sensors=5)
+            offline_maxmatch(inst).check_feasible(inst)
+
+    def test_close_to_lp_bound(self, rng):
+        """For the special case the LP gap comes only from the floor() in
+        the affordability cap; with budgets on the 0.3 J grid it is 0."""
+        inst = make_instance(
+            6,
+            1.0,
+            [
+                {
+                    "window": (0, 5),
+                    "rates": [1.0, 5.0, 3.0, 2.0, 4.0, 1.0],
+                    "powers": [0.3] * 6,
+                    "budget": 0.9,
+                },
+                {
+                    "window": (2, 5),
+                    "rates": [4.0, 4.0, 4.0, 4.0],
+                    "powers": [0.3] * 4,
+                    "budget": 0.6,
+                },
+            ],
+        )
+        got = offline_maxmatch(inst).collected_bits(inst)
+        lp = dcmp_lp_upper_bound(inst)
+        assert got == pytest.approx(lp)
+
+    def test_explicit_fixed_power_override(self, rng):
+        inst = fixed_instance(rng, num_slots=8, num_sensors=3)
+        a = offline_maxmatch(inst).collected_bits(inst)
+        b = offline_maxmatch(inst, fixed_power=0.3).collected_bits(inst)
+        assert a == pytest.approx(b)
+
+    def test_beats_or_ties_appro(self, rng):
+        from repro.core.offline_appro import offline_appro
+
+        for _ in range(10):
+            inst = fixed_instance(rng, num_slots=10, num_sensors=4)
+            mm = offline_maxmatch(inst).collected_bits(inst)
+            ap = offline_appro(inst).collected_bits(inst)
+            assert mm >= ap - 1e-9

@@ -1,0 +1,138 @@
+"""Online framework (Algorithm 2): locality, messages, Lemma 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.offline_appro import offline_appro
+from repro.online.framework import run_online
+from repro.online.online_appro import GapIntervalScheduler, online_appro
+from repro.sim.scenario import ScenarioConfig
+from tests.conftest import make_instance, random_instance
+
+
+class TestMechanics:
+    def test_invalid_gamma(self, rng):
+        inst = random_instance(rng)
+        with pytest.raises(ValueError):
+            run_online(inst, 0, GapIntervalScheduler())
+
+    def test_tour_allocation_feasible(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng, num_slots=20, num_sensors=6, max_window=8)
+            result = run_online(inst, 5, GapIntervalScheduler())
+            result.allocation.check_feasible(inst)
+
+    def test_residual_budgets_nonnegative(self, rng):
+        for _ in range(10):
+            inst = random_instance(rng, num_slots=20, num_sensors=6)
+            result = run_online(inst, 4, GapIntervalScheduler())
+            assert np.all(result.residual_budgets >= -1e-9)
+
+    def test_energy_accounting_consistent(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=6)
+        result = run_online(inst, 4, GapIntervalScheduler())
+        spent = result.allocation.energy_spent(inst)
+        budgets = np.array([inst.budget_of(i) for i in range(inst.num_sensors)])
+        np.testing.assert_allclose(
+            result.residual_budgets, budgets - spent, atol=1e-9
+        )
+
+    def test_collected_bits_matches_allocation(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=6)
+        result = run_online(inst, 4, GapIntervalScheduler())
+        assert result.collected_bits == pytest.approx(
+            result.allocation.collected_bits(inst)
+        )
+
+    def test_intervals_partition_horizon(self, rng):
+        inst = random_instance(rng, num_slots=23, num_sensors=4)
+        result = run_online(inst, 5, GapIntervalScheduler())
+        covered = []
+        for rec in result.intervals:
+            covered.extend(range(rec.interval.start, rec.interval.end + 1))
+        assert covered == list(range(23))
+
+    def test_interval_bits_sum_to_total(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=6)
+        result = run_online(inst, 4, GapIntervalScheduler())
+        assert sum(r.collected_bits for r in result.intervals) == pytest.approx(
+            result.collected_bits
+        )
+
+    def test_registration_requires_probe_reception(self):
+        """A sensor whose window misses every interval-start slot never
+        registers (and never transmits), even though it has slots."""
+        inst = make_instance(
+            8,
+            1.0,
+            # Window [1,3]: probes land at slots 0 and 4 -> never heard.
+            [{"window": (1, 3), "rates": [5.0] * 3, "powers": [1.0] * 3, "budget": 9.0}],
+        )
+        result = run_online(inst, 4, GapIntervalScheduler())
+        assert result.collected_bits == 0.0
+        assert all(len(r.registered) == 0 for r in result.intervals)
+
+    def test_boundary_slots_lost_vs_offline(self):
+        """A sensor heard only by the second probe loses its early slots
+        — the concrete locality cost of the online framework."""
+        inst = make_instance(
+            8,
+            1.0,
+            # Window [2,5]: probe at 0 not heard, probe at 4 heard ->
+            # only slots 4,5 usable online; offline uses 2..5.
+            [{"window": (2, 5), "rates": [5.0] * 4, "powers": [1.0] * 4, "budget": 99.0}],
+        )
+        online = run_online(inst, 4, GapIntervalScheduler())
+        offline = offline_appro(inst)
+        assert online.collected_bits == pytest.approx(10.0)
+        assert offline.collected_bits(inst) == pytest.approx(20.0)
+
+
+class TestLemma1AndMessages:
+    def test_lemma1_on_paper_geometry(self):
+        """Random paper-default topologies: each sensor spans <= 2
+        consecutive probe intervals."""
+        for seed in range(5):
+            scenario = ScenarioConfig(num_sensors=80, path_length=4000.0).build(seed=seed)
+            inst = scenario.instance()
+            result = online_appro(inst, scenario.gamma)
+            regs = result.registrations_per_sensor()
+            assert regs.max() <= 2
+            # And the registered intervals are consecutive.
+            per_sensor = {}
+            for rec in result.intervals:
+                for s in rec.registered:
+                    per_sensor.setdefault(s, []).append(rec.index)
+            for intervals in per_sensor.values():
+                if len(intervals) == 2:
+                    assert intervals[1] - intervals[0] == 1
+
+    def test_sum_nj_at_most_2n(self):
+        for seed in range(5):
+            scenario = ScenarioConfig(num_sensors=60, path_length=4000.0).build(seed=seed)
+            inst = scenario.instance()
+            result = online_appro(inst, scenario.gamma)
+            total = sum(len(rec.registered) for rec in result.intervals)
+            assert total <= 2 * inst.num_sensors
+
+    def test_messages_linear_in_n(self):
+        """Per-sensor protocol receptions are bounded by a small constant
+        (paper: four sink messages + two acks)."""
+        scenario = ScenarioConfig(num_sensors=100, path_length=5000.0).build(seed=3)
+        inst = scenario.instance()
+        result = online_appro(inst, scenario.gamma)
+        log = result.messages
+        assert log.max_receptions_per_sensor() <= 6
+        n = inst.num_sensors
+        # acks <= 2n; sink broadcasts <= 3 per interval.
+        assert log.summary()["acks"] <= 2 * n
+        assert log.total_messages <= 2 * n + 3 * len(result.intervals)
+
+    def test_message_summary_keys(self):
+        scenario = ScenarioConfig(num_sensors=30, path_length=2000.0).build(seed=1)
+        inst = scenario.instance()
+        result = online_appro(inst, scenario.gamma)
+        summary = result.messages.summary()
+        assert summary["probe_broadcasts"] == len(result.intervals)
+        assert summary["schedule_broadcasts"] <= summary["probe_broadcasts"]
+        assert summary["finish_broadcasts"] == summary["schedule_broadcasts"]

@@ -1,0 +1,107 @@
+"""Report formatting: tables and charts, directly."""
+
+import pytest
+
+from repro.experiments.report import (
+    format_records,
+    format_series_chart,
+    format_series_table,
+)
+from repro.experiments.sweep import SweepPoint, SweepRecord, SweepResult
+
+
+def make_result(points):
+    """points: list of (panel, n, algorithm, megabits)."""
+    records = []
+    for k, (panel, n, algo, mb) in enumerate(points):
+        records.append(
+            SweepRecord(
+                label=(("n", n), ("panel", panel)),
+                algorithm=algo,
+                repeat=0,
+                seed=k,
+                collected_bits=mb * 1e6,
+                collected_megabits=mb,
+                wall_time=0.01,
+                total_messages=5 * n,
+            )
+        )
+    return SweepResult(records)
+
+
+@pytest.fixture
+def result():
+    return make_result(
+        [
+            ("p1", 100, "A", 10.0),
+            ("p1", 100, "B", 8.0),
+            ("p1", 200, "A", 20.0),
+            ("p1", 200, "B", 16.0),
+            ("p2", 100, "A", 5.0),
+            ("p2", 200, "A", 9.0),
+        ]
+    )
+
+
+class TestTable:
+    def test_one_table_per_panel(self, result):
+        text = format_series_table(result)
+        assert "[p1]" in text and "[p2]" in text
+
+    def test_missing_cell_shows_dash(self, result):
+        text = format_series_table(result)
+        # Algorithm B never ran in panel p2.
+        p2_block = text.split("[p2]")[1]
+        assert "B" not in p2_block or "-" in p2_block
+
+    def test_custom_value_and_unit(self, result):
+        text = format_series_table(result, value="total_messages", unit="msgs")
+        assert "msgs" in text
+        assert "500.00" in text  # 5 * n at n=100
+
+    def test_no_panel_key(self, result):
+        text = format_series_table(result, panel_key=None)
+        assert "n=100" in text and "n=200" in text
+
+
+class TestChart:
+    def test_chart_per_panel(self, result):
+        text = format_series_chart(result)
+        assert "[p1]" in text and "[p2]" in text
+        assert "A" in text
+
+    def test_single_x_panel_skipped(self):
+        result = make_result([("solo", 100, "A", 1.0)])
+        assert format_series_chart(result) == ""
+
+    def test_non_numeric_x_skipped(self):
+        records = make_result([("p", 100, "A", 1.0)]).records
+        # Rewrite labels to a non-numeric x key value.
+        hacked = SweepResult(
+            [
+                SweepRecord(
+                    label=(("n", "tiny"), ("panel", "p")),
+                    algorithm=r.algorithm,
+                    repeat=r.repeat,
+                    seed=r.seed,
+                    collected_bits=r.collected_bits,
+                    collected_megabits=r.collected_megabits,
+                    wall_time=r.wall_time,
+                    total_messages=r.total_messages,
+                )
+                for r in records * 2
+            ]
+        )
+        assert format_series_chart(hacked) == ""
+
+
+class TestRecords:
+    def test_format_records_contents(self, result):
+        text = format_records(result, limit=3)
+        assert "A" in text
+        assert "Mb" in text
+        assert "more records" in text
+
+    def test_format_records_no_truncation_note_when_small(self, result):
+        text = format_records(result, limit=100)
+        assert "more records" not in text

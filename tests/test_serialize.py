@@ -1,0 +1,85 @@
+"""Instance/allocation JSON round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.offline_appro import offline_appro
+from repro.core.serialize import (
+    allocation_from_dict,
+    allocation_to_dict,
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+)
+from repro.sim.scenario import ScenarioConfig
+from tests.conftest import random_instance
+
+
+def assert_instances_equal(a, b):
+    assert a.num_slots == b.num_slots
+    assert a.slot_duration == b.slot_duration
+    assert a.num_sensors == b.num_sensors
+    for sa, sb in zip(a.sensors, b.sensors):
+        assert sa.window == sb.window
+        np.testing.assert_array_equal(sa.rates, sb.rates)
+        np.testing.assert_array_equal(sa.powers, sb.powers)
+        assert sa.budget == sb.budget
+
+
+def test_instance_dict_roundtrip(rng):
+    inst = random_instance(rng, num_slots=12, num_sensors=5)
+    assert_instances_equal(inst, instance_from_dict(instance_to_dict(inst)))
+
+
+def test_instance_json_roundtrip(rng):
+    inst = random_instance(rng, num_slots=12, num_sensors=5)
+    text = instance_to_json(inst, indent=2)
+    json.loads(text)  # valid JSON
+    assert_instances_equal(inst, instance_from_json(text))
+
+
+def test_scenario_instance_roundtrip_preserves_solution():
+    """A solved-and-reloaded instance yields the identical allocation."""
+    scenario = ScenarioConfig(num_sensors=40, path_length=2000.0).build(seed=4)
+    inst = scenario.instance()
+    reloaded = instance_from_json(instance_to_json(inst))
+    a = offline_appro(inst)
+    b = offline_appro(reloaded)
+    np.testing.assert_array_equal(a.slot_owner, b.slot_owner)
+
+
+def test_allocation_roundtrip(rng):
+    inst = random_instance(rng, num_slots=10, num_sensors=4)
+    alloc = offline_appro(inst)
+    back = allocation_from_dict(allocation_to_dict(alloc))
+    np.testing.assert_array_equal(alloc.slot_owner, back.slot_owner)
+    back.check_feasible(inst)
+
+
+def test_unreachable_sensor_roundtrip():
+    from tests.conftest import make_instance
+
+    inst = make_instance(
+        3, 1.0, [{"window": None, "rates": [], "powers": [], "budget": 1.0}]
+    )
+    back = instance_from_dict(instance_to_dict(inst))
+    assert back.window_of(0) is None
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(ValueError, match="format"):
+        instance_from_dict({"format": "something_else", "version": 1})
+    with pytest.raises(ValueError, match="format"):
+        allocation_from_dict({"format": "nope", "version": 1})
+
+
+def test_wrong_version_rejected(rng):
+    inst = random_instance(rng, num_slots=5, num_sensors=2)
+    doc = instance_to_dict(inst)
+    doc["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        instance_from_dict(doc)

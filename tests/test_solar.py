@@ -1,0 +1,109 @@
+"""Solar profiles: calibration against the paper's cited measurements."""
+
+import numpy as np
+import pytest
+
+from repro.energy.solar import (
+    CLOUDY_48H_MWH,
+    REFERENCE_PANEL_AREA_MM2,
+    SUNNY_48H_MWH,
+    SolarDayProfile,
+    cloudy_profile,
+    sunny_profile,
+)
+from repro.units import mwh_to_joules
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+class TestSolarDayProfile:
+    def test_night_is_dark(self):
+        p = sunny_profile()
+        assert p.power_density(0.0) == 0.0  # midnight
+        assert p.power_density(5.0 * HOUR) == 0.0
+        assert p.power_density(19.0 * HOUR) == 0.0
+
+    def test_noon_is_peak(self):
+        p = sunny_profile()
+        assert p.power_density(12.0 * HOUR) == pytest.approx(p.peak_density)
+
+    def test_symmetry_about_noon(self):
+        p = sunny_profile()
+        assert p.power_density(10 * HOUR) == pytest.approx(p.power_density(14 * HOUR))
+
+    def test_daily_periodicity(self):
+        p = sunny_profile()
+        t = np.array([9.0 * HOUR, 13.5 * HOUR])
+        np.testing.assert_allclose(p.power_density(t), p.power_density(t + DAY))
+
+    def test_energy_density_additive(self):
+        p = sunny_profile()
+        total = p.energy_density(8 * HOUR, 16 * HOUR)
+        split = p.energy_density(8 * HOUR, 12 * HOUR) + p.energy_density(12 * HOUR, 16 * HOUR)
+        assert total == pytest.approx(split, rel=1e-6)
+
+    def test_energy_density_empty_window(self):
+        assert sunny_profile().energy_density(5.0, 5.0) == 0.0
+
+    def test_energy_density_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            sunny_profile().energy_density(10.0, 5.0)
+
+    def test_daily_closed_form_matches_integral(self):
+        p = sunny_profile()
+        closed = p.daily_energy_density()
+        numeric = p.energy_density(0.0, DAY)
+        assert numeric == pytest.approx(closed, rel=1e-5)
+
+    def test_sunset_before_sunrise_rejected(self):
+        with pytest.raises(ValueError):
+            SolarDayProfile(peak_density=1.0, sunrise=18 * HOUR, sunset=6 * HOUR)
+
+
+class TestCalibration:
+    def test_sunny_48h_total_matches_measurement(self):
+        p = sunny_profile()
+        total = p.energy_density(0.0, 2 * DAY) * REFERENCE_PANEL_AREA_MM2
+        assert total == pytest.approx(mwh_to_joules(SUNNY_48H_MWH), rel=1e-4)
+
+    def test_cloudy_48h_total_matches_measurement(self):
+        p = cloudy_profile(seed=0)
+        total = p.energy_density(0.0, 2 * DAY) * REFERENCE_PANEL_AREA_MM2
+        assert total == pytest.approx(mwh_to_joules(CLOUDY_48H_MWH), rel=1e-3)
+
+    def test_cloudy_below_sunny_peak_to_peak(self):
+        # Cloud attenuation means instantaneous power never exceeds a
+        # clear-sky profile calibrated to the sunny total.
+        sunny = sunny_profile()
+        cloudy = cloudy_profile(seed=0)
+        t = np.linspace(6 * HOUR, 18 * HOUR, 200)
+        assert np.all(cloudy.power_density(t) <= sunny.power_density(t) * 1.05)
+
+    def test_cloudy_is_time_varying(self):
+        cloudy = cloudy_profile(seed=0)
+        t = np.linspace(10 * HOUR, 14 * HOUR, 50)
+        dens = cloudy.power_density(t)
+        # A clear-sky arc over +-2 h of noon is nearly flat; clouds make
+        # it visibly jagged.
+        assert np.std(np.diff(dens)) > 0
+
+    def test_cloudy_deterministic_per_seed(self):
+        a = cloudy_profile(seed=3)
+        b = cloudy_profile(seed=3)
+        t = np.linspace(0, DAY, 25)
+        np.testing.assert_allclose(a.power_density(t), b.power_density(t))
+
+    def test_cloudy_seeds_differ(self):
+        a = cloudy_profile(seed=1)
+        b = cloudy_profile(seed=2)
+        t = np.linspace(9 * HOUR, 15 * HOUR, 25)
+        assert not np.allclose(a.power_density(t), b.power_density(t))
+
+    def test_paper_panel_scale(self):
+        # A 10x10 mm panel (the paper's) collects area-proportionally.
+        p = sunny_profile()
+        per_mm2 = p.energy_density(0.0, 2 * DAY)
+        panel = per_mm2 * 100.0
+        expected = mwh_to_joules(SUNNY_48H_MWH) * 100.0 / REFERENCE_PANEL_AREA_MM2
+        assert panel == pytest.approx(expected, rel=1e-4)

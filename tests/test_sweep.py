@@ -1,0 +1,115 @@
+"""Sweep engine: determinism, aggregation, parallel equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweep import SweepPoint, aggregate, run_sweep
+from repro.sim.scenario import ScenarioConfig
+
+CONFIG = ScenarioConfig(num_sensors=25, path_length=1500.0)
+POINTS = [
+    SweepPoint.make(CONFIG, ("Offline_Appro",), panel="p", n=25),
+    SweepPoint.make(
+        CONFIG.with_(num_sensors=40), ("Offline_Appro", "Online_Appro"), panel="p", n=40
+    ),
+]
+
+
+def test_record_count():
+    result = run_sweep(POINTS, repeats=2, jobs=1)
+    assert len(result.records) == 2 * 1 + 2 * 2
+
+
+def test_deterministic_across_runs():
+    a = run_sweep(POINTS, repeats=2, jobs=1)
+    b = run_sweep(POINTS, repeats=2, jobs=1)
+    bits_a = sorted(r.collected_bits for r in a.records)
+    bits_b = sorted(r.collected_bits for r in b.records)
+    np.testing.assert_allclose(bits_a, bits_b)
+
+
+def test_root_seed_changes_results():
+    a = run_sweep(POINTS, repeats=2, jobs=1, root_seed=1)
+    b = run_sweep(POINTS, repeats=2, jobs=1, root_seed=2)
+    assert sorted(r.collected_bits for r in a.records) != sorted(
+        r.collected_bits for r in b.records
+    )
+
+
+def test_parallel_matches_sequential():
+    seq = run_sweep(POINTS, repeats=2, jobs=1)
+    par = run_sweep(POINTS, repeats=2, jobs=2)
+    key = lambda r: (r.label, r.algorithm, r.repeat)
+    for a, b in zip(sorted(seq.records, key=key), sorted(par.records, key=key)):
+        assert a.seed == b.seed
+        assert a.collected_bits == pytest.approx(b.collected_bits)
+
+
+def test_same_topology_shared_across_algorithms():
+    """Both algorithms of one repeat must see the same seed (paper
+    methodology: same 50 topologies for every algorithm)."""
+    result = run_sweep(POINTS, repeats=2, jobs=1)
+    by_repeat = {}
+    for r in result.filter(n=40).records:
+        by_repeat.setdefault(r.repeat, set()).add(r.seed)
+    for seeds in by_repeat.values():
+        assert len(seeds) == 1
+
+
+def test_filter_by_label():
+    result = run_sweep(POINTS, repeats=1, jobs=1)
+    only_40 = result.filter(n=40)
+    assert {dict(r.label)["n"] for r in only_40.records} == {40}
+
+
+def test_label_values_order():
+    result = run_sweep(POINTS, repeats=1, jobs=1)
+    assert result.label_values("n") == [25, 40]
+
+
+def test_algorithms_listing():
+    result = run_sweep(POINTS, repeats=1, jobs=1)
+    assert result.algorithms() == ["Offline_Appro", "Online_Appro"]
+
+
+def test_aggregate_shape():
+    result = run_sweep(POINTS, repeats=3, jobs=1)
+    stats = aggregate(result, ["n"])
+    assert set(stats) == {(25,), (40,)}
+    mean, std, count = stats[(40,)]["Offline_Appro"]
+    assert count == 3
+    assert mean > 0
+    assert std >= 0
+
+
+def test_invalid_repeats():
+    with pytest.raises(ValueError):
+        run_sweep(POINTS, repeats=0)
+
+
+def test_json_roundtrip():
+    from repro.experiments.sweep import SweepResult
+
+    result = run_sweep(POINTS, repeats=2, jobs=1)
+    back = SweepResult.from_json(result.to_json(indent=2))
+    assert len(back.records) == len(result.records)
+    for a, b in zip(result.records, back.records):
+        assert a == b
+
+
+def test_json_rejects_wrong_format():
+    from repro.experiments.sweep import SweepResult
+
+    with pytest.raises(ValueError):
+        SweepResult.from_json('{"format": "nope", "version": 1, "records": []}')
+
+
+def test_cli_output_flag(tmp_path, capsys):
+    from repro.cli import main
+    from repro.experiments.sweep import SweepResult
+
+    out = tmp_path / "records.json"
+    main(["fig2", "--repeats", "1", "--sizes", "30", "--jobs", "1", "--output", str(out)])
+    capsys.readouterr()
+    restored = SweepResult.from_json(out.read_text())
+    assert len(restored.records) > 0

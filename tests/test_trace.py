@@ -1,0 +1,95 @@
+"""Slot-level tour traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.offline_appro import offline_appro
+from repro.online.online_appro import online_appro
+from repro.sim.trace import SlotEvent, TourTrace
+from tests.conftest import make_instance, random_instance
+
+
+@pytest.fixture
+def inst():
+    return make_instance(
+        4,
+        2.0,
+        [
+            {"window": (0, 2), "rates": [100.0, 200.0, 50.0], "powers": [1.0, 2.0, 0.5], "budget": 9.0},
+            {"window": (1, 3), "rates": [80.0, 80.0, 80.0], "powers": [1.0, 1.0, 1.0], "budget": 9.0},
+        ],
+    )
+
+
+def test_event_fields(inst):
+    alloc = Allocation.from_sensor_slots(4, {0: [1], 1: [3]})
+    trace = TourTrace.from_allocation(inst, alloc)
+    e = trace.events[1]
+    assert e.sensor == 0
+    assert e.rate == 200.0
+    assert e.bits == pytest.approx(400.0)  # tau = 2
+    assert e.energy == pytest.approx(4.0)
+    assert e.time == pytest.approx(2.0)
+    assert e.competitors == 2
+
+
+def test_idle_slots_recorded(inst):
+    alloc = Allocation.from_sensor_slots(4, {0: [1]})
+    trace = TourTrace.from_allocation(inst, alloc)
+    assert trace.events[0].sensor == -1
+    assert trace.events[0].bits == 0.0
+    assert trace.idle_fraction() == pytest.approx(0.75)
+
+
+def test_totals_match_allocation(rng):
+    inst = random_instance(rng, num_slots=12, num_sensors=4)
+    alloc = offline_appro(inst)
+    trace = TourTrace.from_allocation(inst, alloc)
+    assert trace.total_bits() == pytest.approx(alloc.collected_bits(inst))
+    assert trace.total_energy() == pytest.approx(alloc.energy_spent(inst).sum())
+
+
+def test_infeasible_allocation_rejected(inst):
+    bad = Allocation(np.array([1, -1, -1, -1]))  # sensor 1 outside window
+    with pytest.raises(ValueError):
+        TourTrace.from_allocation(inst, bad)
+
+
+def test_handovers():
+    inst = make_instance(
+        4,
+        1.0,
+        [
+            {"window": (0, 3), "rates": [1.0] * 4, "powers": [0.1] * 4, "budget": 9.0},
+            {"window": (0, 3), "rates": [1.0] * 4, "powers": [0.1] * 4, "budget": 9.0},
+        ],
+    )
+    alloc = Allocation.from_sensor_slots(4, {0: [0, 2], 1: [1, 3]})
+    trace = TourTrace.from_allocation(inst, alloc)
+    assert trace.handovers() == 3
+
+
+def test_online_intervals_annotated(rng):
+    inst = random_instance(rng, num_slots=16, num_sensors=5)
+    result = online_appro(inst, 4)
+    trace = TourTrace.from_allocation(inst, result.allocation, online_result=result)
+    intervals = {e.interval for e in trace.events}
+    assert intervals <= {0, 1, 2, 3}
+    assert trace.events[0].interval == 0
+    assert trace.events[15].interval == 3
+
+
+def test_csv_roundtrip_shape(rng):
+    inst = random_instance(rng, num_slots=10, num_sensors=3)
+    trace = TourTrace.from_allocation(inst, offline_appro(inst))
+    csv = trace.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("slot,time,sensor")
+    assert len(lines) == 1 + 10
+    assert all(line.count(",") == 8 for line in lines)
+
+
+def test_len(inst):
+    trace = TourTrace.from_allocation(inst, Allocation.empty(4))
+    assert len(trace) == 4

@@ -1,0 +1,67 @@
+"""Unit-conversion correctness and round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_mw_to_w_scalar():
+    assert units.mw_to_w(170.0) == pytest.approx(0.170)
+
+
+def test_w_to_mw_scalar():
+    assert units.w_to_mw(0.33) == pytest.approx(330.0)
+
+
+def test_mw_roundtrip():
+    assert units.w_to_mw(units.mw_to_w(123.4)) == pytest.approx(123.4)
+
+
+def test_kbps_to_bps():
+    assert units.kbps_to_bps(250.0) == pytest.approx(250_000.0)
+
+
+def test_kbps_roundtrip():
+    assert units.bps_to_kbps(units.kbps_to_bps(19.2)) == pytest.approx(19.2)
+
+
+def test_mwh_to_joules_known_value():
+    # 1 mWh = 3.6 J.
+    assert units.mwh_to_joules(1.0) == pytest.approx(3.6)
+
+
+def test_paper_sunny_total_in_joules():
+    # 655.15 mWh over 48 h on the 37x37 panel = 2358.54 J.
+    assert units.mwh_to_joules(655.15) == pytest.approx(2358.54)
+
+
+def test_joules_roundtrip():
+    assert units.joules_to_mwh(units.mwh_to_joules(313.7)) == pytest.approx(313.7)
+
+
+def test_bits_to_megabits():
+    assert units.bits_to_megabits(2_500_000) == pytest.approx(2.5)
+
+
+def test_megabits_roundtrip():
+    assert units.megabits_to_bits(units.bits_to_megabits(7.7e6)) == pytest.approx(7.7e6)
+
+
+def test_hours_to_seconds():
+    assert units.hours_to_seconds(1.5) == pytest.approx(5400.0)
+
+
+def test_seconds_roundtrip():
+    assert units.seconds_to_hours(units.hours_to_seconds(3.25)) == pytest.approx(3.25)
+
+
+def test_converters_accept_arrays():
+    arr = np.array([1.0, 2.0, 4.0])
+    out = units.kbps_to_bps(arr)
+    np.testing.assert_allclose(out, [1000.0, 2000.0, 4000.0])
+
+
+def test_array_conversion_preserves_shape():
+    arr = np.ones((3, 2))
+    assert units.mw_to_w(arr).shape == (3, 2)

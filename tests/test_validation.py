@@ -1,0 +1,71 @@
+"""Boundary-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+)
+
+
+def test_check_positive_accepts():
+    assert check_positive(0.5, "x") == 0.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x"):
+        check_positive(bad, "x")
+
+
+def test_check_nonnegative_accepts_zero():
+    assert check_nonnegative(0.0, "x") == 0.0
+
+
+@pytest.mark.parametrize("bad", [-0.1, float("nan")])
+def test_check_nonnegative_rejects(bad):
+    with pytest.raises(ValueError):
+        check_nonnegative(bad, "x")
+
+
+def test_check_in_range_inclusive():
+    assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+    assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+
+def test_check_in_range_rejects_outside():
+    with pytest.raises(ValueError):
+        check_in_range(2.5, "x", 1.0, 2.0)
+    with pytest.raises(ValueError):
+        check_in_range(0.5, "x", 1.0, 2.0)
+
+
+def test_check_in_range_exclusive():
+    with pytest.raises(ValueError):
+        check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+    assert check_in_range(1.5, "x", 1.0, 2.0, inclusive=False) == 1.5
+
+
+def test_check_in_range_rejects_nan():
+    with pytest.raises(ValueError):
+        check_in_range(float("nan"), "x", 0.0, 1.0)
+
+
+def test_check_finite_passes_and_returns():
+    arr = np.array([1.0, 2.0])
+    out = check_finite(arr, "arr")
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_check_finite_rejects_nan_and_inf():
+    with pytest.raises(ValueError):
+        check_finite(np.array([1.0, np.nan]), "arr")
+    with pytest.raises(ValueError):
+        check_finite(np.array([np.inf]), "arr")
+
+
+def test_check_finite_empty_ok():
+    check_finite(np.array([]), "arr")

@@ -1,0 +1,178 @@
+"""Variable-speed trajectories (the speed-control extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DataCollectionInstance
+from repro.core.offline_appro import offline_appro
+from repro.network.geometry import LinearPath
+from repro.network.network import SensorNetwork
+from repro.network.path import SinkTrajectory
+from repro.network.radio import CC2420_LIKE_TABLE
+from repro.network.variable_speed import (
+    SpeedProfile,
+    VariableSpeedTrajectory,
+    density_speed_profile,
+)
+from repro.online.online_appro import online_appro
+
+
+class TestSpeedProfile:
+    def test_constant(self):
+        p = SpeedProfile.constant(5.0, 1000.0)
+        assert p.travel_time() == pytest.approx(200.0)
+        assert p.speed_at(500.0) == 5.0
+        assert p.max_speed == 5.0
+
+    def test_two_segments_travel_time(self):
+        p = SpeedProfile((0.0, 100.0, 300.0), (10.0, 20.0))
+        assert p.travel_time() == pytest.approx(10.0 + 10.0)
+
+    def test_speed_at_boundaries(self):
+        p = SpeedProfile((0.0, 100.0, 300.0), (10.0, 20.0))
+        assert p.speed_at(0.0) == 10.0
+        assert p.speed_at(100.0) == 20.0  # right-open segments
+        assert p.speed_at(299.0) == 20.0
+
+    def test_arc_at_time(self):
+        p = SpeedProfile((0.0, 100.0, 300.0), (10.0, 20.0))
+        assert p.arc_at_time(5.0) == pytest.approx(50.0)
+        assert p.arc_at_time(10.0) == pytest.approx(100.0)
+        assert p.arc_at_time(15.0) == pytest.approx(200.0)
+        assert p.arc_at_time(999.0) == pytest.approx(300.0)  # clipped
+
+    def test_arc_at_time_vectorised(self):
+        p = SpeedProfile((0.0, 100.0), (10.0,))
+        np.testing.assert_allclose(p.arc_at_time(np.array([0.0, 5.0])), [0.0, 50.0])
+
+    @pytest.mark.parametrize(
+        "breaks,speeds",
+        [
+            ((0.0, 100.0), (10.0, 20.0)),  # length mismatch
+            ((5.0, 100.0), (10.0,)),  # doesn't start at 0
+            ((0.0, 0.0), (10.0,)),  # not increasing
+            ((0.0, 100.0), (0.0,)),  # zero speed
+        ],
+    )
+    def test_invalid(self, breaks, speeds):
+        with pytest.raises(ValueError):
+            SpeedProfile(breaks, speeds)
+
+
+class TestVariableSpeedTrajectory:
+    def test_constant_profile_matches_sink_trajectory(self):
+        """With one segment this must reproduce the paper's model."""
+        path = LinearPath(1000.0)
+        const = SinkTrajectory(path, 5.0, 1.0)
+        var = VariableSpeedTrajectory(path, SpeedProfile.constant(5.0, 1000.0), 1.0)
+        assert var.num_slots == const.num_slots
+        slots = np.arange(var.num_slots)
+        np.testing.assert_allclose(var.arc_at_slot(slots), const.arc_at_slot(slots))
+        assert var.gamma(200.0) == const.gamma(200.0)
+        xy = np.array([[300.0, 40.0], [800.0, -100.0]])
+        assert var.availability(xy, 200.0) == const.availability(xy, 200.0)
+
+    def test_slow_zone_gets_more_slots(self):
+        """Halving the speed over a stretch doubles the anchors in it."""
+        path = LinearPath(1000.0)
+        profile = SpeedProfile((0.0, 400.0, 600.0, 1000.0), (10.0, 5.0, 10.0))
+        traj = VariableSpeedTrajectory(path, profile, 1.0)
+        arcs = traj.arc_at_slot(np.arange(traj.num_slots))
+        in_slow = np.sum((arcs >= 400.0) & (arcs < 600.0))
+        in_fast_equal_length = np.sum((arcs >= 0.0) & (arcs < 200.0))
+        assert in_slow == pytest.approx(2 * in_fast_equal_length, abs=1)
+
+    def test_gamma_uses_max_speed(self):
+        path = LinearPath(1000.0)
+        profile = SpeedProfile((0.0, 500.0, 1000.0), (5.0, 20.0))
+        traj = VariableSpeedTrajectory(path, profile, 1.0)
+        assert traj.gamma(200.0) == 10  # floor(200 / (20*1))
+
+    def test_mean_speed(self):
+        path = LinearPath(1000.0)
+        profile = SpeedProfile((0.0, 500.0, 1000.0), (5.0, 20.0))
+        traj = VariableSpeedTrajectory(path, profile, 1.0)
+        assert traj.speed == pytest.approx(1000.0 / 125.0)
+
+    def test_profile_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VariableSpeedTrajectory(
+                LinearPath(1000.0), SpeedProfile.constant(5.0, 900.0), 1.0
+            )
+
+    def test_availability_anchors_in_range(self):
+        path = LinearPath(1000.0)
+        profile = SpeedProfile((0.0, 300.0, 1000.0), (3.0, 12.0))
+        traj = VariableSpeedTrajectory(path, profile, 1.0)
+        rng = np.random.default_rng(0)
+        xy = np.column_stack([rng.uniform(0, 1000, 20), rng.uniform(-150, 150, 20)])
+        for pos, window in zip(xy, traj.availability(xy, 200.0)):
+            if window is None:
+                continue
+            d = traj.distances_to(pos, window.slots())
+            assert np.all(d <= 200.0 + 1e-9)
+            for outside in (window.start - 1, window.end + 1):
+                if 0 <= outside < traj.num_slots:
+                    assert traj.distances_to(pos, np.array([outside]))[0] > 200.0 - 1e-9
+
+
+class TestDensityProfile:
+    def test_respects_tour_time(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10_000.0, 300)
+        profile = density_speed_profile(x, 10_000.0, tour_time=2000.0)
+        assert profile.travel_time() == pytest.approx(2000.0, rel=0.05)
+
+    def test_slower_in_dense_segments(self):
+        x = np.concatenate([np.full(200, 1000.0), np.full(10, 9000.0)])
+        profile = density_speed_profile(x, 10_000.0, tour_time=2000.0, num_segments=10)
+        assert profile.speed_at(1000.0) < profile.speed_at(9000.0)
+
+    def test_strength_zero_is_constant(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1000.0, 50)
+        profile = density_speed_profile(x, 1000.0, 200.0, strength=0.0)
+        assert len(set(profile.speeds)) == 1
+
+    def test_speed_clamps(self):
+        x = np.full(500, 100.0)
+        profile = density_speed_profile(
+            x, 10_000.0, 500.0, min_speed=2.0, max_speed=30.0
+        )
+        assert min(profile.speeds) >= 2.0
+        assert max(profile.speeds) <= 30.0
+
+
+class TestEndToEnd:
+    def test_full_stack_with_variable_speed(self):
+        """The whole pipeline — instance, offline and online algorithms —
+        works on a variable-speed trajectory, and slowing down in dense
+        zones beats constant speed at equal tour time."""
+        rng = np.random.default_rng(3)
+        path = LinearPath(4000.0)
+        # Dense cluster around 1 km, sparse elsewhere.
+        x = np.concatenate(
+            [rng.uniform(800, 1400, 80), rng.uniform(0, 4000, 20)]
+        )
+        y = rng.uniform(-150, 150, 100)
+        xy = np.column_stack([x, y])
+        net = SensorNetwork.build(path, xy, 10_000.0, rng.uniform(0.5, 6.0, 100))
+        tour_time = 800.0  # same latency for both plans
+
+        const = SinkTrajectory(path, 4000.0 / tour_time, 1.0)
+        planned = VariableSpeedTrajectory(
+            path,
+            density_speed_profile(x, 4000.0, tour_time, num_segments=16),
+            1.0,
+        )
+        bits = {}
+        for name, traj in (("const", const), ("planned", planned)):
+            inst = DataCollectionInstance.from_network(
+                net, traj, CC2420_LIKE_TABLE, net.budgets()
+            )
+            alloc = offline_appro(inst)
+            alloc.check_feasible(inst)
+            bits[name] = alloc.collected_bits(inst)
+            online = online_appro(inst, traj.gamma(200.0))
+            online.allocation.check_feasible(inst)
+        assert bits["planned"] > bits["const"]

@@ -1,0 +1,74 @@
+"""SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.offline_appro import offline_appro
+from repro.sim.scenario import ScenarioConfig
+from repro.viz.svg import render_allocation_timeline, render_deployment
+from tests.conftest import random_instance
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return ScenarioConfig(num_sensors=25, path_length=1500.0).build(seed=8)
+
+
+class TestDeployment:
+    def test_valid_xml(self, scenario):
+        svg = render_deployment(scenario.network)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_circle_per_sensor(self, scenario):
+        svg = render_deployment(scenario.network)
+        assert svg.count('class="sensor"') == 25
+
+    def test_sink_and_range_drawn_when_given(self, scenario):
+        svg = render_deployment(scenario.network, sink_arc=700.0)
+        assert 'class="sink"' in svg
+        assert 'class="radio-range"' in svg
+
+    def test_no_sink_without_arc(self, scenario):
+        svg = render_deployment(scenario.network)
+        assert 'class="sink"' not in svg
+
+    def test_empty_network(self):
+        empty = ScenarioConfig(num_sensors=0, path_length=1500.0).build(seed=0)
+        svg = render_deployment(empty.network)
+        ET.fromstring(svg)
+
+
+class TestTimeline:
+    def test_valid_xml_and_slots(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=5)
+        alloc = offline_appro(inst)
+        svg = render_allocation_timeline(inst, alloc)
+        ET.fromstring(svg)
+        assert svg.count('class="slot"') == alloc.num_assigned()
+
+    def test_probe_boundaries(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=5)
+        alloc = offline_appro(inst)
+        svg = render_allocation_timeline(inst, alloc, interval_length=5)
+        assert svg.count('class="probe-boundary"') == 4
+
+    def test_legend_lists_rates(self, rng):
+        inst = random_instance(rng, num_slots=20, num_sensors=5)
+        svg = render_allocation_timeline(inst, offline_appro(inst))
+        assert "kbps" in svg
+
+    def test_empty_allocation(self, rng):
+        inst = random_instance(rng, num_slots=10, num_sensors=3)
+        svg = render_allocation_timeline(inst, Allocation.empty(10))
+        ET.fromstring(svg)
+        assert svg.count('class="slot"') == 0
+
+    def test_infeasible_allocation_rejected(self, rng):
+        inst = random_instance(rng, num_slots=10, num_sensors=3)
+        bad = Allocation(np.array([99] + [-1] * 9))
+        with pytest.raises(ValueError):
+            render_allocation_timeline(inst, bad)
