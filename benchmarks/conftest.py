@@ -12,6 +12,12 @@ Besides timing, each benchmark *asserts the paper's qualitative claims*
 and writes the regenerated series tables to ``benchmarks/results/`` so
 the reproduction is inspectable after ``pytest benchmarks/
 --benchmark-only``.
+
+Every benchmark additionally runs under a fresh recording
+:class:`repro.obs.MetricsRegistry` (see ``_metrics_registry`` below);
+the registry snapshot — solver counters and phase-timer histograms — is
+attached to ``benchmark.extra_info["metrics"]`` so it lands in
+``--benchmark-json`` output next to the timing statistics.
 """
 
 from __future__ import annotations
@@ -21,7 +27,30 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import MetricsRegistry, use_registry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _metrics_registry(request):
+    """Record each benchmark under a fresh metrics registry.
+
+    The snapshot (solver counters, phase-timer histograms) is attached
+    to ``benchmark.extra_info["metrics"]`` for ``--benchmark-json``
+    consumers.  Tests that don't use the ``benchmark`` fixture still get
+    a scoped registry, so runs never leak metrics into each other.
+    """
+    registry = MetricsRegistry()
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames
+        else None
+    )
+    with use_registry(registry):
+        yield registry
+    if benchmark is not None:
+        benchmark.extra_info["metrics"] = registry.snapshot()
 
 
 def bench_scale() -> dict:

@@ -17,7 +17,10 @@ The package provides:
 * the online distributed protocol and the ``Online_Appro`` /
   ``Online_MaxMatch`` algorithms (:mod:`repro.online`);
 * simulation and experiment harnesses reproducing every figure of the
-  paper's evaluation (:mod:`repro.sim`, :mod:`repro.experiments`).
+  paper's evaluation (:mod:`repro.sim`, :mod:`repro.experiments`);
+* an instrumentation layer — run-metrics registry, solver-phase
+  tracing, logging, JSON profile reports — off and near-free by
+  default (:mod:`repro.obs`; ``python -m repro profile``).
 
 Quickstart
 ----------

@@ -8,13 +8,24 @@ Subcommands:
       python -m repro fig2 --repeats 3 --sizes 100 300 600 --jobs 4
 
 * ``compare`` — run every applicable algorithm on one topology and
-  report throughput, LP-bound fraction, runtime and message counts::
+  report throughput, LP-bound fraction, per-phase timings (from the
+  metrics registry) and message counts::
 
       python -m repro compare --sensors 300 --seed 7 --fixed-power 0.3
+
+* ``profile`` — run one algorithm under a recording metrics registry
+  and emit a JSON profile report (phase timings, solver counters, timer
+  histograms), optionally with a Chrome trace::
+
+      python -m repro profile --sensors 100 --algo Offline_Appro
+      python -m repro profile --sensors 300 --algo Online_Appro --trace out.json
 
 * ``coverage`` — deployment diagnostics (contention, holes, ceiling)::
 
       python -m repro coverage --sensors 300 --seed 7
+
+The global ``-v/--verbose`` flag (repeatable) raises the ``repro``
+logger hierarchy from WARNING to INFO (``-v``) or DEBUG (``-vv``).
 """
 
 from __future__ import annotations
@@ -52,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Networks' (ICPP 2013)."
         ),
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise repro.* log level (-v: INFO, -vv: DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, module in EXPERIMENTS.items():
@@ -87,6 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run every applicable algorithm on one topology"
     )
     _add_scenario_args(compare)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile one algorithm: JSON report of phase timings and counters",
+    )
+    _add_scenario_args(profile)
+    profile.add_argument(
+        "--algo",
+        type=str,
+        default="Offline_Appro",
+        help="registered algorithm name (default: Offline_Appro); "
+        "also accepts lowercase aliases like offline_appro",
+    )
+    profile.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        help="also write a Chrome trace_event JSON (chrome://tracing) here",
+    )
+    profile.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the JSON report to this file instead of stdout",
+    )
 
     coverage = sub.add_parser("coverage", help="deployment coverage diagnostics")
     _add_scenario_args(coverage)
@@ -125,8 +168,25 @@ def _run_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_algorithm_name(name: str) -> str:
+    """Match ``name`` against the registry, tolerating lowercase aliases
+    (``offline_appro`` → ``Offline_Appro``)."""
+    from repro.sim.algorithms import ALGORITHMS
+
+    if name in ALGORITHMS:
+        return name
+    folded = name.lower()
+    for registered in ALGORITHMS:
+        if registered.lower() == folded:
+            return registered
+    raise SystemExit(
+        f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+    )
+
+
 def _run_compare(args: argparse.Namespace) -> int:
     from repro.core.lp import dcmp_lp_upper_bound
+    from repro.obs import MetricsRegistry, use_registry
     from repro.sim.algorithms import ALGORITHMS, get_algorithm
     from repro.sim.simulator import run_tour
 
@@ -137,17 +197,76 @@ def _run_compare(args: argparse.Namespace) -> int:
         f"topology: n={args.sensors}, T={instance.num_slots}, gamma={scenario.gamma}, "
         f"seed={args.seed}; LP bound {bound / 1e6:.2f} Mb\n"
     )
-    print(f"{'algorithm':<26} {'Mb':>9} {'of LP':>7} {'ms':>8} {'messages':>9}")
+    print(
+        f"{'algorithm':<26} {'Mb':>9} {'of LP':>7} {'build ms':>9} "
+        f"{'solve ms':>9} {'verify ms':>10} {'messages':>9}"
+    )
     for name in ALGORITHMS:
         if "MaxMatch" in name and args.fixed_power is None:
             continue  # only exact for the single-power special case
-        result = run_tour(scenario, get_algorithm(name), mutate=False)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = run_tour(scenario, get_algorithm(name), mutate=False)
+        build_ms = registry.timer_stats("tour.instance_build").total * 1e3
+        solve_ms = registry.timer_stats("tour.solve").total * 1e3
+        verify_ms = registry.timer_stats("tour.verify").total * 1e3
         frac = result.collected_bits / bound if bound else 0.0
         msgs = result.messages.total_messages if result.messages else 0
         print(
             f"{name:<26} {result.collected_megabits:>9.2f} {frac:>6.1%} "
-            f"{result.wall_time * 1e3:>8.1f} {msgs:>9}"
+            f"{build_ms:>9.1f} {solve_ms:>9.1f} {verify_ms:>10.1f} {msgs:>9}"
         )
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        profile_report,
+        render_profile_report,
+        use_registry,
+        use_tracer,
+    )
+    from repro.sim.algorithms import get_algorithm
+    from repro.sim.simulator import run_tour
+
+    algo_name = _resolve_algorithm_name(args.algo)
+    if "MaxMatch" in algo_name and args.fixed_power is None:
+        raise SystemExit(
+            f"{algo_name} is the fixed-power special case; pass --fixed-power "
+            "(the paper uses 0.3)"
+        )
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with use_registry(registry), use_tracer(tracer):
+        scenario = _build_scenario(args)
+        result = run_tour(scenario, get_algorithm(algo_name), mutate=False)
+    report = profile_report(
+        result,
+        registry,
+        algorithm=algo_name,
+        scenario={
+            "num_sensors": args.sensors,
+            "seed": args.seed,
+            "sink_speed": args.speed,
+            "slot_duration": args.tau,
+            "fixed_power": args.fixed_power,
+            "gamma": scenario.gamma,
+            "num_slots": scenario.trajectory.num_slots,
+        },
+    )
+    text = render_profile_report(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"[profile report written to {args.output}]")
+    else:
+        print(text)
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_chrome_trace())
+        print(f"[chrome trace written to {args.trace}]", file=sys.stderr)
     return 0
 
 
@@ -174,10 +293,16 @@ def _run_coverage(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs import configure_logging
+
+        configure_logging(args.verbose)
     if args.command in EXPERIMENTS:
         return _run_figure(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "coverage":
         return _run_coverage(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

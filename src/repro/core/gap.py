@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.knapsack import KnapsackResult, solve_knapsack
+from repro.obs import get_registry
 
 __all__ = ["GapBin", "GapInstance", "GapSolution", "local_ratio_gap"]
 
@@ -158,6 +159,12 @@ def local_ratio_gap(
     -------
     GapSolution
         Feasible (disjoint, capacity-respecting) assignment.
+
+    Notes
+    -----
+    Records ``gap.local_ratio_rounds`` (one per bin) and
+    ``gap.residual_updates`` counters plus a ``gap.local_ratio`` timer
+    to the :mod:`repro.obs` registry.
     """
     if knapsack_solver is None:
         knapsack_solver = solve_knapsack
@@ -165,35 +172,41 @@ def local_ratio_gap(
     if sorted(order) != list(range(instance.num_bins)):
         raise ValueError("bin_order must be a permutation of all bins")
 
-    # Residual profit per (bin, position); starts at the true profits.
-    residual: List[np.ndarray] = [b.profits.astype(np.float64).copy() for b in instance.bins]
-    tentative: Dict[int, List[int]] = {}
+    registry = get_registry()
+    with registry.timed("gap.local_ratio"):
+        # Residual profit per (bin, position); starts at the true profits.
+        residual: List[np.ndarray] = [b.profits.astype(np.float64).copy() for b in instance.bins]
+        tentative: Dict[int, List[int]] = {}
+        residual_updates = 0
 
-    for l in order:
-        b = instance.bins[l]
-        result = knapsack_solver(residual[l], b.weights, b.capacity)
-        chosen_positions = list(result.selected)
-        tentative[l] = [int(b.items[pos]) for pos in chosen_positions]
-        # Decompose: subtract bin l's residual profit of each chosen item
-        # from every other bin containing that item (equation (5)).
-        for pos in chosen_positions:
-            item = int(b.items[pos])
-            delta = float(residual[l][pos])
-            if delta <= 0.0:
-                continue
-            for (bi, bpos) in instance.bins_containing(item):
-                if bi != l:
-                    residual[bi][bpos] -= delta
-        # Bin l leaves the game.
-        residual[l][:] = -np.inf
+        for l in order:
+            b = instance.bins[l]
+            result = knapsack_solver(residual[l], b.weights, b.capacity)
+            chosen_positions = list(result.selected)
+            tentative[l] = [int(b.items[pos]) for pos in chosen_positions]
+            # Decompose: subtract bin l's residual profit of each chosen item
+            # from every other bin containing that item (equation (5)).
+            for pos in chosen_positions:
+                item = int(b.items[pos])
+                delta = float(residual[l][pos])
+                if delta <= 0.0:
+                    continue
+                for (bi, bpos) in instance.bins_containing(item):
+                    if bi != l:
+                        residual[bi][bpos] -= delta
+                        residual_updates += 1
+            # Bin l leaves the game.
+            residual[l][:] = -np.inf
 
-    # Backward conflict resolution: S_l = S̄_l \ U_{later} S.
-    taken: set = set()
-    assignment: Dict[int, List[int]] = {}
-    for l in reversed(order):
-        mine = [item for item in tentative[l] if item not in taken]
-        assignment[l] = sorted(mine)
-        taken.update(mine)
+        # Backward conflict resolution: S_l = S̄_l \ U_{later} S.
+        taken: set = set()
+        assignment: Dict[int, List[int]] = {}
+        for l in reversed(order):
+            mine = [item for item in tentative[l] if item not in taken]
+            assignment[l] = sorted(mine)
+            taken.update(mine)
 
-    profit = instance.profit_of_assignment(assignment)
+        profit = instance.profit_of_assignment(assignment)
+    registry.inc("gap.local_ratio_rounds", float(len(order)))
+    registry.inc("gap.residual_updates", float(residual_updates))
     return GapSolution(assignment=assignment, tentative={k: sorted(v) for k, v in tentative.items()}, profit=profit)

@@ -27,6 +27,7 @@ from scipy.sparse import coo_matrix
 
 from repro.core.allocation import Allocation
 from repro.core.instance import DataCollectionInstance
+from repro.obs import get_registry
 
 __all__ = ["IlpSolution", "solve_dcmp_ilp"]
 
@@ -106,13 +107,18 @@ def solve_dcmp_ilp(
     options = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
-    result = milp(
-        c=-profits_arr,
-        constraints=[constraint],
-        integrality=np.ones(num_vars),
-        bounds=(0, 1),
-        options=options,
-    )
+    registry = get_registry()
+    registry.inc("ilp.calls")
+    registry.set_gauge("ilp.num_vars", num_vars)
+    with registry.timed("ilp.solve"):
+        result = milp(
+            c=-profits_arr,
+            constraints=[constraint],
+            integrality=np.ones(num_vars),
+            bounds=(0, 1),
+            options=options,
+        )
+    registry.set_gauge("ilp.status", int(result.status))
 
     if result.x is None:
         return IlpSolution(Allocation.empty(instance.num_slots), 0.0, False)

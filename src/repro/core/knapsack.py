@@ -30,6 +30,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = [
     "KnapsackResult",
     "knapsack_greedy",
@@ -378,25 +380,54 @@ def solve_knapsack(
     weight structure allows (the paper's 4-level radio always does),
     falling back to branch-and-bound for small general instances and the
     FPTAS otherwise.
+
+    Every call records to the :mod:`repro.obs` registry: ``knapsack.calls``
+    and ``knapsack.items`` counters, a ``knapsack.solve`` timer, and a
+    ``knapsack.method[<solver>]`` counter for the solver that answered
+    (``auto`` fallbacks also bump ``knapsack.auto_fallbacks``).
     """
+    registry = get_registry()
+    registry.inc("knapsack.calls")
+    registry.inc("knapsack.items", float(np.asarray(profits).size))
+    with registry.timed("knapsack.solve"):
+        result, used = _dispatch(profits, weights, capacity, method, epsilon, registry)
+    registry.inc(f"knapsack.method[{used}]")
+    return result
+
+
+def _dispatch(
+    profits: np.ndarray,
+    weights: np.ndarray,
+    capacity: float,
+    method: str,
+    epsilon: float,
+    registry,
+) -> Tuple[KnapsackResult, str]:
+    """Route to the concrete solver; returns (result, solver name)."""
     if method == "greedy":
-        return knapsack_greedy(profits, weights, capacity)
+        return knapsack_greedy(profits, weights, capacity), method
     if method == "few_weights":
-        return knapsack_few_weights(profits, weights, capacity)
+        return knapsack_few_weights(profits, weights, capacity), method
     if method == "branch_and_bound":
-        return knapsack_branch_and_bound(profits, weights, capacity)
+        return knapsack_branch_and_bound(profits, weights, capacity), method
     if method == "fptas":
-        return knapsack_fptas(profits, weights, capacity, epsilon=epsilon)
+        return knapsack_fptas(profits, weights, capacity, epsilon=epsilon), method
     if method != "auto":
         raise ValueError(f"unknown knapsack method {method!r}")
 
     try:
-        return knapsack_few_weights(profits, weights, capacity, max_combinations=200_000)
+        return (
+            knapsack_few_weights(profits, weights, capacity, max_combinations=200_000),
+            "few_weights",
+        )
     except ValueError:
-        pass
+        registry.inc("knapsack.auto_fallbacks")
     if np.asarray(profits).size <= 48:
         try:
-            return knapsack_branch_and_bound(profits, weights, capacity, max_nodes=200_000)
+            return (
+                knapsack_branch_and_bound(profits, weights, capacity, max_nodes=200_000),
+                "branch_and_bound",
+            )
         except RuntimeError:
-            pass
-    return knapsack_fptas(profits, weights, capacity, epsilon=epsilon)
+            registry.inc("knapsack.auto_fallbacks")
+    return knapsack_fptas(profits, weights, capacity, epsilon=epsilon), "fptas"

@@ -22,6 +22,7 @@ from scipy.sparse import coo_matrix
 
 from repro.core.instance import DataCollectionInstance
 from repro.core.matching import MatchingResult, max_weight_b_matching
+from repro.obs import get_registry
 
 __all__ = ["dcmp_lp_upper_bound", "b_matching_lp"]
 
@@ -64,7 +65,14 @@ def dcmp_lp_upper_bound(instance: DataCollectionInstance) -> float:
     a_ub = coo_matrix((data, (rows, cols)), shape=(t + n, num_vars)).tocsr()
     budgets = np.array([instance.budget_of(i) for i in range(n)])
     b_ub = np.concatenate([np.ones(t), budgets])
-    res = linprog(c=-profits_arr, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs")
+    registry = get_registry()
+    registry.inc("lp.calls")
+    registry.set_gauge("lp.num_vars", num_vars)
+    with registry.timed("lp.dcmp_bound"):
+        res = linprog(
+            c=-profits_arr, A_ub=a_ub, b_ub=b_ub, bounds=(0.0, 1.0), method="highs"
+        )
+    registry.set_gauge("lp.status", int(res.status))
     if not res.success:  # pragma: no cover - defensive
         raise RuntimeError(f"DCMP LP relaxation failed: {res.message}")
     return float(-res.fun)

@@ -33,6 +33,7 @@ from typing import List, Literal, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.mcmf import MinCostFlow
+from repro.obs import get_registry
 
 __all__ = ["MatchingResult", "max_weight_b_matching"]
 
@@ -110,6 +111,11 @@ def max_weight_b_matching(
     MatchingResult
         Optimal matching; every right node appears at most once and left
         node ``i`` appears at most ``c_i`` times.
+
+    Notes
+    -----
+    Records ``matching.calls`` / ``matching.edges`` counters and a
+    ``matching.<engine>`` timer to the :mod:`repro.obs` registry.
     """
     u, v, w, caps = _check_inputs(edges, left_capacities, num_right)
     keep = w > _WEIGHT_EPS
@@ -128,18 +134,22 @@ def max_weight_b_matching(
 
     if engine == "auto":
         engine = "flow" if u.size <= 4000 else "lp"
-    if engine == "flow":
-        return _solve_flow(u, v, w, caps, num_right)
-    if engine == "lsa":
-        return _solve_lsa(u, v, w, caps, num_right)
-    if engine == "lp":
-        return _solve_lp(u, v, w, caps, num_right)
-    if engine == "auction":
+    if engine not in ("flow", "lsa", "lp", "auction"):
+        raise ValueError(f"unknown matching engine {engine!r}")
+    registry = get_registry()
+    registry.inc("matching.calls")
+    registry.inc("matching.edges", float(u.size))
+    with registry.timed(f"matching.{engine}"):
+        if engine == "flow":
+            return _solve_flow(u, v, w, caps, num_right)
+        if engine == "lsa":
+            return _solve_lsa(u, v, w, caps, num_right)
+        if engine == "lp":
+            return _solve_lp(u, v, w, caps, num_right)
         # ε-optimal (see repro.core.auction); kept out of "auto".
         from repro.core.auction import auction_b_matching
 
         return auction_b_matching(list(zip(u, v, w)), caps, num_right)
-    raise ValueError(f"unknown matching engine {engine!r}")
 
 
 # ----------------------------------------------------------------------

@@ -30,6 +30,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
+
 __all__ = ["MinCostFlow"]
 
 _INF = float("inf")
@@ -109,6 +111,7 @@ class MinCostFlow:
                     if not in_queue[v]:
                         queue.append(v)
                         in_queue[v] = True
+        get_registry().inc("mcmf.spfa_relaxations", float(relaxations))
         return dist
 
     def _dijkstra(
@@ -169,45 +172,61 @@ class MinCostFlow:
         -------
         (flow, cost):
             Total flow pushed and its total cost.
+
+        Notes
+        -----
+        Records ``mcmf.solves`` / ``mcmf.augmentations`` /
+        ``mcmf.dijkstra_runs`` counters and an ``mcmf.solve`` timer to
+        the :mod:`repro.obs` registry (counters are accumulated locally
+        and flushed once per solve, so the disabled path stays free).
         """
         if source == sink:
             raise ValueError("source and sink must differ")
-        potentials = self._initial_potentials(source)
-        if not np.isfinite(potentials[sink]):
-            return 0.0, 0.0
-        # Unreachable nodes keep potential 0; they can never be on a path.
-        potentials = np.where(np.isfinite(potentials), potentials, 0.0)
+        registry = get_registry()
+        registry.inc("mcmf.solves")
+        with registry.timed("mcmf.solve"):
+            potentials = self._initial_potentials(source)
+            if not np.isfinite(potentials[sink]):
+                return 0.0, 0.0
+            # Unreachable nodes keep potential 0; they can never be on a path.
+            potentials = np.where(np.isfinite(potentials), potentials, 0.0)
 
-        total_flow = 0.0
-        total_cost = 0.0
-        remaining = _INF if max_flow is None else float(max_flow)
+            total_flow = 0.0
+            total_cost = 0.0
+            remaining = _INF if max_flow is None else float(max_flow)
+            augmentations = 0
+            dijkstra_runs = 0
 
-        while remaining > 0:
-            dist, pred_edge = self._dijkstra(source, potentials)
-            if not np.isfinite(dist[sink]):
-                break
-            # True path cost = reduced distance + potential difference.
-            path_cost = dist[sink] + potentials[sink] - potentials[source]
-            if only_negative_paths and path_cost >= -_COST_EPS:
-                break
-            # Bottleneck along the path.
-            bottleneck = remaining
-            v = sink
-            while v != source:
-                eid = int(pred_edge[v])
-                bottleneck = min(bottleneck, self._cap[eid])
-                v = self._to[eid ^ 1]
-            # Apply.
-            v = sink
-            while v != source:
-                eid = int(pred_edge[v])
-                self._cap[eid] -= bottleneck
-                self._cap[eid ^ 1] += bottleneck
-                v = self._to[eid ^ 1]
-            total_flow += bottleneck
-            total_cost += bottleneck * path_cost
-            remaining -= bottleneck
-            # Johnson update keeps reduced costs non-negative.
-            finite = np.isfinite(dist)
-            potentials[finite] += dist[finite]
-        return total_flow, total_cost
+            while remaining > 0:
+                dist, pred_edge = self._dijkstra(source, potentials)
+                dijkstra_runs += 1
+                if not np.isfinite(dist[sink]):
+                    break
+                # True path cost = reduced distance + potential difference.
+                path_cost = dist[sink] + potentials[sink] - potentials[source]
+                if only_negative_paths and path_cost >= -_COST_EPS:
+                    break
+                # Bottleneck along the path.
+                bottleneck = remaining
+                v = sink
+                while v != source:
+                    eid = int(pred_edge[v])
+                    bottleneck = min(bottleneck, self._cap[eid])
+                    v = self._to[eid ^ 1]
+                # Apply.
+                v = sink
+                while v != source:
+                    eid = int(pred_edge[v])
+                    self._cap[eid] -= bottleneck
+                    self._cap[eid ^ 1] += bottleneck
+                    v = self._to[eid ^ 1]
+                total_flow += bottleneck
+                total_cost += bottleneck * path_cost
+                remaining -= bottleneck
+                augmentations += 1
+                # Johnson update keeps reduced costs non-negative.
+                finite = np.isfinite(dist)
+                potentials[finite] += dist[finite]
+            registry.inc("mcmf.augmentations", float(augmentations))
+            registry.inc("mcmf.dijkstra_runs", float(dijkstra_runs))
+            return total_flow, total_cost

@@ -23,9 +23,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_logger, get_registry, timed
 from repro.sim.algorithms import get_algorithm
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
+
+_log = get_logger("experiments.sweep")
 
 __all__ = ["SweepPoint", "SweepRecord", "SweepResult", "run_sweep", "aggregate"]
 
@@ -177,24 +180,26 @@ def _run_unit(
 ) -> List[SweepRecord]:
     """Worker: one topology, all of the point's algorithms."""
     config, algorithms, label, repeat, seed = args
-    scenario = config.build(seed=seed)
-    out: List[SweepRecord] = []
-    for name in algorithms:
-        algorithm = get_algorithm(name)
-        result = run_tour(scenario, algorithm, mutate=False)
-        messages = result.messages.total_messages if result.messages else 0
-        out.append(
-            SweepRecord(
-                label=label,
-                algorithm=name,
-                repeat=repeat,
-                seed=seed,
-                collected_bits=result.collected_bits,
-                collected_megabits=result.collected_megabits,
-                wall_time=result.wall_time,
-                total_messages=messages,
+    get_registry().inc("sweep.units")
+    with timed("sweep.unit"):
+        scenario = config.build(seed=seed)
+        out: List[SweepRecord] = []
+        for name in algorithms:
+            algorithm = get_algorithm(name)
+            result = run_tour(scenario, algorithm, mutate=False)
+            messages = result.messages.total_messages if result.messages else 0
+            out.append(
+                SweepRecord(
+                    label=label,
+                    algorithm=name,
+                    repeat=repeat,
+                    seed=seed,
+                    collected_bits=result.collected_bits,
+                    collected_megabits=result.collected_megabits,
+                    wall_time=result.wall_time,
+                    total_messages=messages,
+                )
             )
-        )
     return out
 
 
@@ -237,15 +242,18 @@ def run_sweep(
         for rep in range(repeats)
     ]
     result = SweepResult()
-    if jobs in (0, 1):
-        for unit in units:
-            result.records.extend(_run_unit(unit))
-        return result
-    max_workers = jobs or os.cpu_count() or 1
-    max_workers = min(max_workers, len(units)) or 1
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for batch in pool.map(_run_unit, units, chunksize=1):
-            result.records.extend(batch)
+    with timed("sweep.run"):
+        if jobs in (0, 1):
+            _log.info("sweep: %d units in-process", len(units))
+            for unit in units:
+                result.records.extend(_run_unit(unit))
+            return result
+        max_workers = jobs or os.cpu_count() or 1
+        max_workers = min(max_workers, len(units)) or 1
+        _log.info("sweep: %d units over %d workers", len(units), max_workers)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for batch in pool.map(_run_unit, units, chunksize=1):
+                result.records.extend(batch)
     return result
 
 

@@ -1,0 +1,89 @@
+"""repro.obs — zero-dependency instrumentation layer.
+
+Three cooperating pieces, all off (and near-free) by default:
+
+* **metrics** (:mod:`repro.obs.registry`) — a process-global
+  :class:`MetricsRegistry` of counters, gauges, and timer histograms
+  that the scheduler stack records into; swap in a recording registry
+  with :func:`use_registry` / :func:`enable_metrics`, read it back with
+  :meth:`MetricsRegistry.snapshot`;
+* **tracing** (:mod:`repro.obs.tracing`) — span-style phase traces
+  (``with span("knapsack.solve", sensor=i): ...``) exportable as JSONL
+  or Chrome ``trace_event`` JSON for ``chrome://tracing``;
+* **logging** (:mod:`repro.obs.log`) — the stdlib ``repro.*`` logger
+  hierarchy behind :func:`get_logger`, wired to the CLI's
+  ``-v/--verbose`` flag through :func:`configure_logging`.
+
+:func:`profile_report` fuses a tour result and a registry snapshot into
+the JSON document ``python -m repro profile`` emits.
+
+Quick profile of a run::
+
+    from repro import ScenarioConfig, get_algorithm, run_tour
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as reg:
+        scenario = ScenarioConfig(num_sensors=100).build(seed=7)
+        result = run_tour(scenario, get_algorithm("Offline_Appro"))
+    print(reg.snapshot()["counters"]["knapsack.calls"])
+    print(result.profile)   # per-phase seconds
+"""
+
+from repro.obs.log import configure_logging, get_logger, verbosity_to_level
+from repro.obs.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    TimerStats,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+    set_registry,
+    timed,
+    use_registry,
+)
+from repro.obs.report import profile_report, render_profile_report
+from repro.obs.tracing import (
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    events_from_jsonl,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    # registry
+    "MetricsRegistry",
+    "NullRegistry",
+    "TimerStats",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "timed",
+    "inc",
+    "observe",
+    "set_gauge",
+    # tracing
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "events_from_jsonl",
+    # logging
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+    # reports
+    "profile_report",
+    "render_profile_report",
+]

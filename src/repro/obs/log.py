@@ -1,0 +1,97 @@
+"""Stdlib-``logging`` wiring for the ``repro`` logger hierarchy.
+
+Library modules obtain loggers through :func:`get_logger`, which roots
+everything under the ``"repro"`` logger (``get_logger("sim.simulator")``
+→ ``repro.sim.simulator``), so one call configures the whole package.
+The root carries a :class:`logging.NullHandler` by default — importing
+the library never prints anything — and :func:`configure_logging` (what
+the CLI's ``-v/--verbose`` flag calls) attaches a real stream handler:
+
+======== =========
+``-v``   level
+======== =========
+(absent) WARNING
+``-v``   INFO
+``-vv``  DEBUG
+======== =========
+
+:func:`configure_logging` is idempotent: repeated calls adjust the level
+of the handler it installed instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+__all__ = ["get_logger", "configure_logging", "verbosity_to_level"]
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute identifying the handler configure_logging installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+_root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger()`` returns the root ``repro`` logger;
+    ``get_logger("core.knapsack")`` returns ``repro.core.knapsack``.
+    Names already starting with ``repro`` are used as-is.
+    """
+    if not name:
+        return _root
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a :mod:`logging` level."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach (or re-level) a stream handler on the ``repro`` root.
+
+    Parameters
+    ----------
+    verbosity:
+        ``-v`` count (0 → WARNING, 1 → INFO, ≥2 → DEBUG).
+    stream:
+        Target stream (default: :data:`sys.stderr` via
+        :class:`logging.StreamHandler`).
+
+    Returns
+    -------
+    logging.Logger
+        The configured ``repro`` root logger.
+    """
+    level = verbosity_to_level(verbosity)
+    handler = None
+    for existing in _root.handlers:
+        if getattr(existing, _HANDLER_FLAG, False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        _root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(level)
+    _root.setLevel(level)
+    return _root

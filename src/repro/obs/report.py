@@ -1,0 +1,79 @@
+"""JSON profile reports: one run's phases + counters in one document.
+
+:func:`profile_report` fuses the three instrumentation products of a
+profiled tour — the :class:`~repro.sim.results.TourResult` phase
+breakdown, a :class:`~repro.obs.registry.MetricsRegistry` snapshot, and
+(optionally) scenario metadata — into a single JSON-serialisable dict.
+``python -m repro profile`` is a thin wrapper over this function; tests
+and notebooks can call it directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.sim.results import TourResult
+
+__all__ = ["profile_report", "render_profile_report"]
+
+#: Document envelope, mirroring repro.core.serialize conventions.
+REPORT_FORMAT = "repro.profile_report"
+REPORT_VERSION = 1
+
+
+def profile_report(
+    result: "TourResult",
+    registry: MetricsRegistry,
+    algorithm: Optional[str] = None,
+    scenario: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the profile document for one tour.
+
+    Parameters
+    ----------
+    result:
+        The tour result (source of throughput and the per-phase
+        ``profile`` timings).
+    registry:
+        The metrics registry that was active during the run (source of
+        solver counters and timer histograms).
+    algorithm:
+        Algorithm name to stamp into the report.
+    scenario:
+        Free-form scenario metadata (n, seed, gamma, …).
+
+    Returns
+    -------
+    dict
+        JSON-serialisable report with ``format``/``version`` envelope,
+        ``result`` totals, per-phase ``phases`` seconds, and the
+        registry's ``counters``/``gauges``/``timers``.
+    """
+    snapshot = registry.snapshot()
+    messages = result.messages.summary() if result.messages is not None else None
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "algorithm": algorithm,
+        "scenario": dict(scenario or {}),
+        "result": {
+            "collected_bits": float(result.collected_bits),
+            "collected_megabits": float(result.collected_megabits),
+            "wall_time_s": float(result.wall_time),
+            "total_energy_spent_j": float(result.total_energy_spent),
+            "messages": messages,
+        },
+        "phases": dict(result.profile),
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "timers": snapshot["timers"],
+    }
+
+
+def render_profile_report(report: Dict[str, object], indent: int = 2) -> str:
+    """Serialise a profile report as pretty-printed JSON."""
+    return json.dumps(report, indent=indent, sort_keys=False)

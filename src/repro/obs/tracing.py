@@ -1,0 +1,237 @@
+"""Span-style tracing of solver phases.
+
+A :class:`Tracer` records :class:`SpanEvent`\\ s — named, possibly
+nested, wall-clock intervals with free-form attributes::
+
+    with tracer.span("tour.solve", algorithm="Offline_Appro"):
+        with tracer.span("knapsack.solve", sensor=17):
+            ...
+
+and exports the event stream two ways:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per line, the stable
+  machine-readable form (:func:`events_from_jsonl` is its inverse);
+* :meth:`Tracer.to_chrome_trace` — the Chrome ``trace_event`` JSON
+  format, loadable in ``chrome://tracing`` / Perfetto for a flame view
+  of a run.
+
+Timestamps are :func:`time.perf_counter` seconds relative to the
+tracer's construction, so traces are self-contained and subtraction-free.
+Like the metrics registry, a process-global tracer (default
+:class:`NullTracer`) backs the module-level :func:`span` helper;
+:func:`use_tracer` scopes a recording tracer over a block.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "span",
+    "events_from_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span.
+
+    Attributes
+    ----------
+    name:
+        Dotted phase name (``"tour.solve"``, ``"knapsack.solve"``).
+    start_s / duration_s:
+        Start offset from the tracer's epoch and duration, in seconds.
+    depth:
+        Nesting depth at entry (0 = top level).
+    attrs:
+        Free-form JSON-serialisable key/values given at :meth:`~Tracer.span`.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the JSONL export."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _Span:
+    """Context manager recording one span into a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._depth
+        self._tracer._depth += 1
+        self._start = time.perf_counter() - self._tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter() - self._tracer._epoch
+        self._tracer._depth -= 1
+        self._tracer.events.append(
+            SpanEvent(
+                name=self._name,
+                start_s=self._start,
+                duration_s=end - self._start,
+                depth=self._depth,
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span (the disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans; completed spans land in :attr:`events` in
+    completion (exit) order."""
+
+    _enabled: bool = True
+
+    def __init__(self) -> None:
+        self.events: List[SpanEvent] = []
+        self._epoch = time.perf_counter()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything."""
+        return self._enabled
+
+    def span(self, name: str, **attrs: object) -> _Span:
+        """Open a span; use as ``with tracer.span("phase", key=val):``."""
+        return _Span(self, name, attrs)
+
+    def reset(self) -> None:
+        """Drop recorded events and restart the epoch."""
+        self.events.clear()
+        self._epoch = time.perf_counter()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialise events as JSON Lines (one span object per line)."""
+        return "".join(json.dumps(e.as_dict()) + "\n" for e in self.events)
+
+    def to_chrome_trace(self) -> str:
+        """Serialise as Chrome ``trace_event`` JSON (complete "X" events,
+        microsecond timestamps) for ``chrome://tracing`` / Perfetto."""
+        pid = os.getpid()
+        trace_events = [
+            {
+                "name": e.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(e.attrs),
+            }
+            for e in self.events
+        ]
+        return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — the near-free default."""
+
+    _enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:  # type: ignore[override]
+        """Return the shared do-nothing span."""
+        return _NULL_SPAN
+
+
+def events_from_jsonl(text: str) -> List[SpanEvent]:
+    """Inverse of :meth:`Tracer.to_jsonl` (blank lines are skipped)."""
+    events: List[SpanEvent] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        events.append(
+            SpanEvent(
+                name=str(doc["name"]),
+                start_s=float(doc["start_s"]),
+                duration_s=float(doc["duration_s"]),
+                depth=int(doc["depth"]),
+                attrs=dict(doc.get("attrs", {})),
+            )
+        )
+    return events
+
+
+#: The process-global current tracer (module-private; use the accessors).
+_tracer: Tracer = NullTracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer instrumented code records into."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Scope ``tracer`` as the global one for a ``with`` block."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the current global tracer (no-op by default)."""
+    return _tracer.span(name, **attrs)

@@ -34,8 +34,11 @@ import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.instance import DataCollectionInstance
+from repro.obs import get_logger, get_registry, span
 from repro.online.messages import MessageLog, MessageType
 from repro.utils.intervals import SlotInterval
+
+_log = get_logger("online.framework")
 
 __all__ = ["IntervalScheduler", "IntervalRecord", "OnlineResult", "run_online"]
 
@@ -143,8 +146,11 @@ def run_online(
     tour_owner = np.full(t, -1, dtype=np.int64)
     log = MessageLog()
     records: List[IntervalRecord] = []
+    registry = get_registry()
 
     num_intervals = int(np.ceil(t / gamma))
+    registry.inc("online.probe_rounds", float(num_intervals))
+    _log.debug("online tour: %d slots, gamma=%d, %d intervals", t, gamma, num_intervals)
     for j in range(num_intervals):
         interval = SlotInterval(j * gamma, min((j + 1) * gamma, t) - 1)
         # --- Probe: heard by sensors in range at the interval start,
@@ -158,22 +164,32 @@ def run_online(
             registered = in_range
         log.record_broadcast(MessageType.PROBE, registered)
         if not registered:
+            registry.inc("online.empty_intervals")
             records.append(IntervalRecord(j, interval, [], 0, 0.0))
             continue  # paper: tour would end if deployment were sparse here
         # --- Acks (registration).
         for sensor in registered:
             log.record_ack(sensor)
-        # --- Schedule the interval.
-        sub_instance, parents = instance.restrict(
-            interval, budgets=residual, sensor_ids=registered
+        registry.inc("online.registrations", float(len(registered)))
+        _log.debug(
+            "interval %d: slots [%d, %d], %d registered",
+            j, interval.start, interval.end, len(registered),
         )
+        # --- Schedule the interval.
+        with registry.timed("online.instance_restrict"):
+            sub_instance, parents = instance.restrict(
+                interval, budgets=residual, sensor_ids=registered
+            )
         # Schedulers that use tour-level per-sensor knowledge carried in
         # the Ack (e.g. the lookahead extension) receive the parent ids.
-        parent_aware = getattr(scheduler, "schedule_with_parents", None)
-        if parent_aware is not None:
-            sub_allocation = parent_aware(sub_instance, parents)
-        else:
-            sub_allocation = scheduler.schedule(sub_instance)
+        with registry.timed("online.interval_schedule"), span(
+            "online.interval_schedule", interval=j, registered=len(registered)
+        ):
+            parent_aware = getattr(scheduler, "schedule_with_parents", None)
+            if parent_aware is not None:
+                sub_allocation = parent_aware(sub_instance, parents)
+            else:
+                sub_allocation = scheduler.schedule(sub_instance)
         sub_allocation.check_feasible(sub_instance)
         log.record_broadcast(MessageType.SCHEDULE, registered)
         # --- Transmissions: merge into the tour allocation, debit energy.
@@ -197,8 +213,13 @@ def run_online(
         log.record_broadcast(MessageType.FINISH, registered)
         records.append(IntervalRecord(j, interval, registered, assigned, bits))
 
+    registry.inc("online.messages", float(log.total_messages))
     tour_allocation = Allocation(tour_owner)
     collected = tour_allocation.collected_bits(instance)
+    _log.info(
+        "online tour done: %.2f Mb over %d intervals, %d messages",
+        collected / 1e6, num_intervals, log.total_messages,
+    )
     return OnlineResult(
         allocation=tour_allocation,
         collected_bits=collected,

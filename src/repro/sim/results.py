@@ -39,6 +39,11 @@ class TourResult:
         Protocol traffic (online algorithms only).
     wall_time:
         Scheduler run time in seconds (for the scalability benches).
+    profile:
+        Per-phase wall-clock breakdown of the tour in seconds
+        (``instance_build_s`` / ``solve_s`` / ``verify_s`` /
+        ``energy_update_s`` / ``total_s``); empty for hand-built
+        results.
     """
 
     tour_index: int
@@ -50,6 +55,7 @@ class TourResult:
     budgets: np.ndarray
     messages: Optional[MessageLog] = None
     wall_time: float = 0.0
+    profile: Dict[str, float] = field(default_factory=dict)
 
     @property
     def collected_megabits(self) -> float:

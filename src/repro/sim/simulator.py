@@ -21,11 +21,14 @@ from typing import List, Optional
 import numpy as np
 
 from repro.energy.budget import BudgetPolicy, StoredEnergyBudgetPolicy
+from repro.obs import get_logger, get_registry, span
 from repro.sim.algorithms import TourAlgorithm
 from repro.sim.results import SimulationResult, TourResult
 from repro.sim.scenario import Scenario
 
 __all__ = ["run_tour", "simulate_tours"]
+
+_log = get_logger("sim.simulator")
 
 
 def run_tour(
@@ -64,6 +67,10 @@ def run_tour(
     Returns
     -------
     TourResult
+        Includes a ``profile`` dict with the per-phase wall-clock
+        breakdown (instance build / solve / verify / energy update);
+        the same phases are recorded as ``tour.*`` timers and spans on
+        the :mod:`repro.obs` registry and tracer.
     """
     if rest_time < 0:
         raise ValueError(f"rest_time must be >= 0, got {rest_time}")
@@ -72,28 +79,53 @@ def run_tour(
     if start_time is None:
         start_time = scenario.config.start_time + tour_index * (tour_duration + rest_time)
 
-    instance = scenario.instance(policy, tour_index)
-    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    registry = get_registry()
+    registry.inc("tour.runs")
+    t_start = time.perf_counter()
+    with span("tour", tour=tour_index, algorithm=algorithm.name):
+        with span("tour.instance_build"):
+            instance = scenario.instance(policy, tour_index)
+            budgets = np.array(
+                [instance.budget_of(i) for i in range(instance.num_sensors)]
+            )
+        t_built = time.perf_counter()
 
-    t0 = time.perf_counter()
-    allocation, messages = algorithm.run(instance, scenario.gamma)
-    wall = time.perf_counter() - t0
+        with span("tour.solve", algorithm=algorithm.name):
+            allocation, messages = algorithm.run(instance, scenario.gamma)
+        t_solved = time.perf_counter()
 
-    allocation.check_feasible(instance)
-    spent = allocation.energy_spent(instance)
-    harvested = np.zeros(instance.num_sensors)
-    spilled = np.zeros(instance.num_sensors)
+        with span("tour.verify"):
+            allocation.check_feasible(instance)
+            spent = allocation.energy_spent(instance)
+        t_verified = time.perf_counter()
 
-    if mutate:
-        window_end = start_time + tour_duration + rest_time
-        for i, sensor in enumerate(scenario.network.sensors):
-            sensor.battery.withdraw(min(float(spent[i]), sensor.battery.charge))
-            gain = sensor.harvested_energy(start_time, window_end)
-            harvested[i] = gain
-            stored = sensor.battery.deposit(gain)
-            spilled[i] = gain - stored
+        harvested = np.zeros(instance.num_sensors)
+        spilled = np.zeros(instance.num_sensors)
+        with span("tour.energy_update"):
+            if mutate:
+                window_end = start_time + tour_duration + rest_time
+                for i, sensor in enumerate(scenario.network.sensors):
+                    sensor.battery.withdraw(min(float(spent[i]), sensor.battery.charge))
+                    gain = sensor.harvested_energy(start_time, window_end)
+                    harvested[i] = gain
+                    stored = sensor.battery.deposit(gain)
+                    spilled[i] = gain - stored
+        t_end = time.perf_counter()
 
-    return TourResult(
+    profile = {
+        "instance_build_s": t_built - t_start,
+        "solve_s": t_solved - t_built,
+        "verify_s": t_verified - t_solved,
+        "energy_update_s": t_end - t_verified,
+        "total_s": t_end - t_start,
+    }
+    registry.observe("tour.instance_build", profile["instance_build_s"])
+    registry.observe("tour.solve", profile["solve_s"])
+    registry.observe("tour.verify", profile["verify_s"])
+    registry.observe("tour.energy_update", profile["energy_update_s"])
+    registry.observe("tour.total", profile["total_s"])
+
+    result = TourResult(
         tour_index=tour_index,
         collected_bits=allocation.collected_bits(instance),
         allocation=allocation,
@@ -102,8 +134,20 @@ def run_tour(
         energy_spilled=spilled,
         budgets=budgets,
         messages=messages,
-        wall_time=wall,
+        wall_time=profile["solve_s"],
+        profile=profile,
     )
+    _log.info(
+        "tour %d [%s]: %.2f Mb in %.1f ms (build %.1f / solve %.1f / verify %.1f ms)",
+        tour_index,
+        algorithm.name,
+        result.collected_megabits,
+        profile["total_s"] * 1e3,
+        profile["instance_build_s"] * 1e3,
+        profile["solve_s"] * 1e3,
+        profile["verify_s"] * 1e3,
+    )
+    return result
 
 
 def simulate_tours(

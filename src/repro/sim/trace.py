@@ -5,12 +5,13 @@ total: which sensor transmitted in slot ``j``, at what rate, at what
 distance band, against which competitors, and what it cost.  A
 :class:`TourTrace` derives all of that from an allocation + instance
 (plus the interval structure when the tour was run online) and exports
-to CSV for external analysis.
+to CSV or JSON Lines for external analysis.
 """
 
 from __future__ import annotations
 
 import io
+import json
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -138,12 +139,42 @@ class TourTrace:
         return sum(1 for a, b in zip(busy, busy[1:]) if a.sensor != b.sensor)
 
     def to_csv(self) -> str:
-        """Serialise as CSV (header + one row per slot)."""
+        """Serialise as CSV (header + one row per slot).
+
+        ``energy_j`` is emitted at full ``repr`` precision — a fixed
+        6-decimal format would round sub-microjoule slot costs to zero.
+        """
         buf = io.StringIO()
         buf.write("slot,time,sensor,rate_bps,power_w,bits,energy_j,competitors,interval\n")
         for e in self.events:
             buf.write(
                 f"{e.slot},{e.time:.3f},{e.sensor},{e.rate:.1f},{e.power:.3f},"
-                f"{e.bits:.1f},{e.energy:.6f},{e.competitors},{e.interval}\n"
+                f"{e.bits:.1f},{e.energy!r},{e.competitors},{e.interval}\n"
+            )
+        return buf.getvalue()
+
+    def to_jsonl(self) -> str:
+        """Serialise as JSON Lines (one object per slot, full precision).
+
+        Field names match the CSV header, so the two exports are
+        column-compatible.
+        """
+        buf = io.StringIO()
+        for e in self.events:
+            buf.write(
+                json.dumps(
+                    {
+                        "slot": e.slot,
+                        "time": e.time,
+                        "sensor": e.sensor,
+                        "rate_bps": e.rate,
+                        "power_w": e.power,
+                        "bits": e.bits,
+                        "energy_j": e.energy,
+                        "competitors": e.competitors,
+                        "interval": e.interval,
+                    }
+                )
+                + "\n"
             )
         return buf.getvalue()

@@ -17,6 +17,7 @@ MODULES = [
     "repro",
     "repro.units",
     "repro.utils",
+    "repro.obs",
     "repro.network",
     "repro.energy",
     "repro.core",

@@ -1,5 +1,7 @@
 """Slot-level tour traces."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -70,6 +72,18 @@ def test_handovers():
     assert trace.handovers() == 3
 
 
+def test_handovers_zero_busy_slots(inst):
+    trace = TourTrace.from_allocation(inst, Allocation.empty(4))
+    assert trace.handovers() == 0
+
+
+def test_handovers_one_busy_slot(inst):
+    trace = TourTrace.from_allocation(
+        inst, Allocation.from_sensor_slots(4, {0: [1]})
+    )
+    assert trace.handovers() == 0
+
+
 def test_online_intervals_annotated(rng):
     inst = random_instance(rng, num_slots=16, num_sensors=5)
     result = online_appro(inst, 4)
@@ -88,6 +102,40 @@ def test_csv_roundtrip_shape(rng):
     assert lines[0].startswith("slot,time,sensor")
     assert len(lines) == 1 + 10
     assert all(line.count(",") == 8 for line in lines)
+
+
+def test_csv_energy_full_precision():
+    """Sub-microjoule slot energies must survive the CSV export."""
+    inst = make_instance(
+        2,
+        1.0,
+        [{"window": (0, 1), "rates": [1.0, 1.0], "powers": [1e-9, 1e-9], "budget": 1.0}],
+    )
+    trace = TourTrace.from_allocation(inst, Allocation.from_sensor_slots(2, {0: [0]}))
+    row = trace.to_csv().strip().splitlines()[1]
+    energy_field = row.split(",")[6]
+    assert float(energy_field) == pytest.approx(1e-9)
+    assert float(energy_field) != 0.0
+
+
+def test_jsonl_roundtrip(rng):
+    inst = random_instance(rng, num_slots=10, num_sensors=3)
+    trace = TourTrace.from_allocation(inst, offline_appro(inst))
+    lines = trace.to_jsonl().strip().splitlines()
+    assert len(lines) == 10
+    docs = [json.loads(line) for line in lines]
+    for doc, event in zip(docs, trace.events):
+        assert doc["slot"] == event.slot
+        assert doc["sensor"] == event.sensor
+        assert doc["rate_bps"] == event.rate
+        assert doc["energy_j"] == event.energy  # exact: JSON floats round-trip
+        assert doc["competitors"] == event.competitors
+        assert doc["interval"] == event.interval
+
+
+def test_jsonl_empty_trace():
+    trace = TourTrace([])
+    assert trace.to_jsonl() == ""
 
 
 def test_len(inst):
