@@ -24,6 +24,10 @@ Subcommands:
 
       python -m repro coverage --sensors 300 --seed 7
 
+* ``serve`` — run the HTTP planning service (see ``docs/SERVICE.md``)::
+
+      python -m repro serve --port 8080 --workers 4 --cache-size 256
+
 The global ``-v/--verbose`` flag (repeatable) raises the ``repro``
 logger hierarchy from WARNING to INFO (``-v``) or DEBUG (``-vv``).
 """
@@ -105,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run every applicable algorithm on one topology"
     )
     _add_scenario_args(compare)
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as machine-readable JSON instead of a table",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -133,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     coverage = sub.add_parser("coverage", help="deployment coverage diagnostics")
     _add_scenario_args(coverage)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP planning service (POST /v1/solve, ...)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="solver worker processes (default: one per core)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=128,
+        help="result-cache capacity in entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="deadline in seconds for synchronous solves (504 beyond it)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="bound on unfinished jobs (429 beyond it)",
+    )
 
     return parser
 
@@ -171,28 +210,75 @@ def _run_figure(args: argparse.Namespace) -> int:
 def _resolve_algorithm_name(name: str) -> str:
     """Match ``name`` against the registry, tolerating lowercase aliases
     (``offline_appro`` → ``Offline_Appro``)."""
-    from repro.sim.algorithms import ALGORITHMS
+    from repro.sim.algorithms import resolve_algorithm_name
 
-    if name in ALGORITHMS:
-        return name
-    folded = name.lower()
-    for registered in ALGORITHMS:
-        if registered.lower() == folded:
-            return registered
-    raise SystemExit(
-        f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
-    )
+    try:
+        return resolve_algorithm_name(name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
 
 
 def _run_compare(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.lp import dcmp_lp_upper_bound
     from repro.obs import MetricsRegistry, use_registry
-    from repro.sim.algorithms import ALGORITHMS, get_algorithm
+    from repro.sim.algorithms import ALGORITHMS, get_algorithm, requires_fixed_power
     from repro.sim.simulator import run_tour
 
     scenario = _build_scenario(args)
     instance = scenario.instance()
     bound = dcmp_lp_upper_bound(instance)
+
+    rows: List[dict] = []
+    skipped: List[dict] = []
+    for name in ALGORITHMS:
+        if requires_fixed_power(name) and args.fixed_power is None:
+            skipped.append(
+                {
+                    "algorithm": name,
+                    "reason": "fixed-power special case; pass --fixed-power "
+                    "(the paper uses 0.3)",
+                }
+            )
+            continue
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = run_tour(scenario, get_algorithm(name), mutate=False)
+        rows.append(
+            {
+                "algorithm": name,
+                "megabits": result.collected_megabits,
+                "lp_fraction": result.collected_bits / bound if bound else 0.0,
+                "build_ms": registry.timer_stats("tour.instance_build").total * 1e3,
+                "solve_ms": registry.timer_stats("tour.solve").total * 1e3,
+                "verify_ms": registry.timer_stats("tour.verify").total * 1e3,
+                "messages": (
+                    result.messages.total_messages if result.messages else 0
+                ),
+            }
+        )
+
+    if args.json:
+        document = {
+            "format": "repro.compare",
+            "version": 1,
+            "topology": {
+                "num_sensors": args.sensors,
+                "seed": args.seed,
+                "sink_speed": args.speed,
+                "slot_duration": args.tau,
+                "fixed_power": args.fixed_power,
+                "num_slots": instance.num_slots,
+                "gamma": scenario.gamma,
+            },
+            "lp_bound_megabits": bound / 1e6,
+            "rows": rows,
+            "skipped": skipped,
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+
     print(
         f"topology: n={args.sensors}, T={instance.num_slots}, gamma={scenario.gamma}, "
         f"seed={args.seed}; LP bound {bound / 1e6:.2f} Mb\n"
@@ -201,20 +287,17 @@ def _run_compare(args: argparse.Namespace) -> int:
         f"{'algorithm':<26} {'Mb':>9} {'of LP':>7} {'build ms':>9} "
         f"{'solve ms':>9} {'verify ms':>10} {'messages':>9}"
     )
-    for name in ALGORITHMS:
-        if "MaxMatch" in name and args.fixed_power is None:
-            continue  # only exact for the single-power special case
-        registry = MetricsRegistry()
-        with use_registry(registry):
-            result = run_tour(scenario, get_algorithm(name), mutate=False)
-        build_ms = registry.timer_stats("tour.instance_build").total * 1e3
-        solve_ms = registry.timer_stats("tour.solve").total * 1e3
-        verify_ms = registry.timer_stats("tour.verify").total * 1e3
-        frac = result.collected_bits / bound if bound else 0.0
-        msgs = result.messages.total_messages if result.messages else 0
+    for row in rows:
         print(
-            f"{name:<26} {result.collected_megabits:>9.2f} {frac:>6.1%} "
-            f"{build_ms:>9.1f} {solve_ms:>9.1f} {verify_ms:>10.1f} {msgs:>9}"
+            f"{row['algorithm']:<26} {row['megabits']:>9.2f} {row['lp_fraction']:>6.1%} "
+            f"{row['build_ms']:>9.1f} {row['solve_ms']:>9.1f} "
+            f"{row['verify_ms']:>10.1f} {row['messages']:>9}"
+        )
+    if skipped:
+        names = ", ".join(entry["algorithm"] for entry in skipped)
+        print(
+            f"\nnote: skipped {names} — fixed-power special case; "
+            "pass --fixed-power (the paper uses 0.3)"
         )
     return 0
 
@@ -290,6 +373,26 @@ def _run_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.obs import enable_metrics
+    from repro.service import PlanningService, create_server, run_server
+
+    registry = enable_metrics()
+    service = PlanningService(
+        workers=args.workers,
+        cache_size=args.cache_size,
+        request_timeout=args.request_timeout,
+        max_queue=args.max_queue,
+        registry=registry,
+    )
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro planning service listening on http://{host}:{port}", flush=True)
+    run_server(server)
+    print("planning service shut down cleanly (in-flight jobs drained)", flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -305,6 +408,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_profile(args)
     if args.command == "coverage":
         return _run_coverage(args)
+    if args.command == "serve":
+        return _run_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,146 @@
+"""Request schema: JSON bodies → validated solve requests.
+
+One function, :func:`parse_solve_request`, maps the wire format
+
+.. code-block:: json
+
+    {"scenario": {"num_sensors": 300, "sink_speed": 5.0},
+     "algorithm": "Offline_Appro",
+     "seed": 7}
+
+to a :class:`SolveRequest` — a validated ``ScenarioConfig`` plus a
+canonical algorithm name — or raises :class:`RequestError`, the typed
+4xx error the HTTP layer serialises verbatim.  Validation reuses the
+library's own guards end to end: ``ScenarioConfig.from_dict`` rejects
+unknown/ill-typed/out-of-range fields,
+:func:`repro.sim.algorithms.resolve_algorithm_name` supplies the
+"unknown algorithm, choose from […]" message (the same one the CLI
+prints), and the MaxMatch family is refused up front unless the
+scenario pins ``fixed_power`` (Section VI's special case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.service.cache import solve_cache_key
+from repro.sim.algorithms import requires_fixed_power, resolve_algorithm_name
+from repro.sim.scenario import ScenarioConfig
+
+__all__ = ["RequestError", "SolveRequest", "parse_solve_request"]
+
+#: Top-level request fields the schema understands.
+_REQUEST_FIELDS = ("scenario", "algorithm", "seed")
+
+#: Service-side guard against absurd problem sizes (a 400, not a crash).
+DEFAULT_MAX_SENSORS = 20_000
+
+
+class RequestError(Exception):
+    """A client error with an HTTP status and optional offending field.
+
+    The HTTP layer serialises :meth:`to_dict` as the response body, so
+    every validation path below produces a machine-readable error.
+    """
+
+    def __init__(self, message: str, status: int = 400, field: Optional[str] = None):
+        super().__init__(message)
+        self.message = message
+        self.status = status
+        self.field = field
+
+    def to_dict(self) -> dict:
+        """JSON-ready error body (``error`` / ``status`` / ``field``)."""
+        doc = {"error": self.message, "status": self.status}
+        if self.field is not None:
+            doc["field"] = self.field
+        return doc
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One validated solve: config + canonical algorithm + seed."""
+
+    config: ScenarioConfig
+    algorithm: str
+    seed: Optional[int] = None
+
+    def cache_key(self) -> str:
+        """Content-addressed cache key of this request."""
+        return solve_cache_key(self.config.to_dict(), self.algorithm, self.seed)
+
+    def payload(self) -> dict:
+        """Picklable worker payload (plain dicts and scalars only)."""
+        return {
+            "scenario": self.config.to_dict(),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+        }
+
+
+def parse_solve_request(
+    doc: object,
+    max_sensors: int = DEFAULT_MAX_SENSORS,
+) -> SolveRequest:
+    """Validate a decoded JSON body into a :class:`SolveRequest`.
+
+    Raises :class:`RequestError` (status 400) on: a non-object body,
+    unknown top-level fields, an invalid scenario (unknown field, wrong
+    type, out-of-range value — per ``ScenarioConfig.from_dict``),
+    ``num_sensors`` beyond ``max_sensors``, a non-integer seed, an
+    unknown algorithm (message lists the sorted choices), or a
+    MaxMatch-family algorithm without ``scenario.fixed_power``.
+    """
+    if not isinstance(doc, Mapping):
+        raise RequestError(
+            f"request body must be a JSON object, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - set(_REQUEST_FIELDS))
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {', '.join(unknown)}; "
+            f"expected {', '.join(_REQUEST_FIELDS)}",
+            field=unknown[0],
+        )
+
+    scenario_doc = doc.get("scenario", {})
+    if not isinstance(scenario_doc, Mapping):
+        raise RequestError(
+            f"'scenario' must be a JSON object, got {type(scenario_doc).__name__}",
+            field="scenario",
+        )
+    try:
+        config = ScenarioConfig.from_dict(scenario_doc)
+    except (ValueError, TypeError) as exc:
+        raise RequestError(str(exc), field="scenario") from None
+    if config.num_sensors > max_sensors:
+        raise RequestError(
+            f"num_sensors {config.num_sensors} out of range "
+            f"(this service accepts at most {max_sensors})",
+            field="scenario",
+        )
+
+    seed = doc.get("seed")
+    if seed is not None and (isinstance(seed, bool) or not isinstance(seed, int)):
+        raise RequestError(
+            f"seed must be an integer or null, got {seed!r}", field="seed"
+        )
+
+    algorithm = doc.get("algorithm", "Offline_Appro")
+    if not isinstance(algorithm, str):
+        raise RequestError(
+            f"algorithm must be a string, got {algorithm!r}", field="algorithm"
+        )
+    try:
+        algorithm = resolve_algorithm_name(algorithm)
+    except KeyError as exc:
+        raise RequestError(exc.args[0], field="algorithm") from None
+    if requires_fixed_power(algorithm) and config.fixed_power is None:
+        raise RequestError(
+            f"{algorithm} is the fixed-power special case; set "
+            "scenario.fixed_power (the paper uses 0.3)",
+            field="scenario",
+        )
+
+    return SolveRequest(config=config, algorithm=algorithm, seed=seed)

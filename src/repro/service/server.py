@@ -1,0 +1,356 @@
+"""HTTP planning API: stdlib JSON server over the solver library.
+
+Two layers, separable for testing:
+
+* :class:`PlanningService` — transport-free facade tying the request
+  schema, the content-addressed :class:`~repro.service.cache.ResultCache`
+  and the bounded :class:`~repro.service.executor.JobExecutor` together;
+  call it directly from tests or notebooks.
+* :class:`PlanningServer` / :func:`create_server` / :func:`run_server` —
+  a ``ThreadingHTTPServer`` speaking JSON over these endpoints:
+
+  ========================  ====================================================
+  ``GET  /healthz``         liveness + queue/cache occupancy
+  ``GET  /metrics``         metrics-registry snapshot (counters/gauges/timers)
+  ``GET  /v1/algorithms``   registered algorithms + fixed-power requirements
+  ``POST /v1/solve``        synchronous solve (cache → coalesce → worker pool)
+  ``POST /v1/jobs``         asynchronous submit; returns a pollable job id
+  ``GET  /v1/jobs/{id}``    job state; includes the result once done
+  ``DELETE /v1/jobs/{id}``  cancel a queued job
+  ========================  ====================================================
+
+Error mapping: schema violations → 400 (typed body from
+:class:`~repro.service.schema.RequestError`), unknown routes/jobs → 404,
+queue saturation → 429, deadline misses → 504, solver failures → 500.
+Every request is timed into ``service.request`` (and solves into
+``service.solve``) on the service's metrics registry.
+
+:func:`run_server` adds the process lifecycle: SIGTERM/SIGINT stop the
+accept loop, the executor drains in-flight jobs, and the process exits
+0 — so ``kill -TERM`` on ``python -m repro serve`` never drops work.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.obs import get_logger
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.service.cache import ResultCache
+from repro.service.executor import JobExecutor, JobState, JobTimeoutError, QueueFullError
+from repro.service.schema import DEFAULT_MAX_SENSORS, RequestError, parse_solve_request
+from repro.service.worker import solve_payload
+from repro.sim.algorithms import ALGORITHMS, requires_fixed_power
+
+__all__ = ["PlanningService", "PlanningServer", "create_server", "run_server"]
+
+_log = get_logger("service.server")
+
+#: Request bodies beyond this are refused with a 413-style error.
+MAX_BODY_BYTES = 1 << 20
+
+
+class PlanningService:
+    """Transport-free planning service: schema + cache + executor.
+
+    Parameters
+    ----------
+    workers:
+        Solver worker processes (``None`` → one per core).
+    cache_size:
+        LRU capacity of the result cache (0 disables caching).
+    request_timeout:
+        Deadline (seconds) for synchronous solves; misses surface as
+        :class:`~repro.service.executor.JobTimeoutError` (HTTP 504).
+    max_queue:
+        Bound on unfinished jobs; beyond it submissions raise
+        :class:`~repro.service.executor.QueueFullError` (HTTP 429).
+    max_sensors:
+        Schema-level cap on ``num_sensors`` (HTTP 400 beyond it).
+    registry:
+        Metrics registry for the ``service.*`` instrumentation.
+        ``None`` adopts the process-global registry if it records, else
+        installs a private recording one — either way ``GET /metrics``
+        is never empty-by-accident.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache_size: int = 128,
+        request_timeout: Optional[float] = 30.0,
+        max_queue: int = 32,
+        max_sensors: int = DEFAULT_MAX_SENSORS,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if registry is None:
+            current = get_registry()
+            registry = current if current.enabled else MetricsRegistry()
+        self.registry = registry
+        self.request_timeout = request_timeout
+        self.max_sensors = max_sensors
+        self.cache = ResultCache(cache_size, registry=registry)
+        self.executor = JobExecutor(
+            workers=workers,
+            max_queue=max_queue,
+            default_timeout=request_timeout,
+            registry=registry,
+        )
+
+    # ------------------------------------------------------------------
+    def _submit(self, request) -> Tuple[object, bool]:
+        """Submit a parsed request, wiring the job's result into the
+        cache on completion; returns ``(job, created)``."""
+        key = request.cache_key()
+        cache = self.cache
+
+        def _store(future) -> None:
+            if not future.cancelled() and future.exception() is None:
+                cache.put(key, future.result())
+
+        return self.executor.submit(
+            solve_payload, request.payload(), key=key, on_result=_store
+        )
+
+    def solve(self, doc: object) -> dict:
+        """Synchronous solve of a decoded JSON body.
+
+        Cache hits return immediately (``"cached": true``); otherwise
+        the request coalesces onto any identical in-flight job or
+        submits a new one, then waits out ``request_timeout``.
+        """
+        with self.registry.timed("service.request"):
+            request = parse_solve_request(doc, max_sensors=self.max_sensors)
+            key = request.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                return {**cached, "cached": True}
+            job, _created = self._submit(request)
+            with self.registry.timed("service.solve"):
+                result = self.executor.wait(job, timeout=self.request_timeout)
+            self.cache.put(key, result)
+            return {**result, "cached": False}
+
+    def submit_job(self, doc: object) -> dict:
+        """Asynchronous submit of a decoded JSON body.
+
+        Returns ``{"job_id", "state", "cached"}``; a cache hit is
+        registered as an already-finished job so the polling contract
+        is uniform.
+        """
+        with self.registry.timed("service.request"):
+            request = parse_solve_request(doc, max_sensors=self.max_sensors)
+            key = request.cache_key()
+            cached = self.cache.get(key)
+            if cached is not None:
+                job = self.executor.submit_completed(cached, key=key)
+                return {"job_id": job.id, "state": job.state.value, "cached": True}
+            job, _created = self._submit(request)
+            return {"job_id": job.id, "state": job.state.value, "cached": False}
+
+    def job_status(self, job_id: str) -> Optional[dict]:
+        """Poll a job: its snapshot, plus the result once done
+        (``None`` for unknown ids)."""
+        job = self.executor.get(job_id)
+        if job is None:
+            return None
+        doc = job.snapshot()
+        if job.state is JobState.DONE:
+            doc["result"] = job.result()
+        return doc
+
+    def cancel_job(self, job_id: str) -> Optional[dict]:
+        """Cancel a queued job; reports whether revocation succeeded
+        (``None`` for unknown ids)."""
+        job = self.executor.get(job_id)
+        if job is None:
+            return None
+        cancelled = self.executor.cancel(job_id)
+        return {"job_id": job_id, "cancelled": cancelled, "state": job.state.value}
+
+    def algorithms(self) -> dict:
+        """The algorithm catalogue clients can request."""
+        return {
+            "algorithms": [
+                {"name": name, "requires_fixed_power": requires_fixed_power(name)}
+                for name in sorted(ALGORITHMS)
+            ]
+        }
+
+    def health(self) -> dict:
+        """Liveness document with queue and cache occupancy."""
+        return {
+            "status": "ok",
+            "queue": self.executor.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    def metrics(self) -> dict:
+        """The service registry's snapshot (``GET /metrics`` body)."""
+        return self.registry.snapshot()
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop admissions; with ``drain`` wait for in-flight jobs."""
+        self.executor.shutdown(drain=drain)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs/paths onto the owning server's service."""
+
+    server_version = "repro-planning/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> PlanningService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        _log.info("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, doc: dict) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise RequestError(
+                f"request body too large ({length} > {MAX_BODY_BYTES} bytes)",
+                status=413,
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw or b"null")
+        except json.JSONDecodeError as exc:
+            raise RequestError(f"malformed JSON body: {exc}") from None
+
+    def _dispatch(self, handler) -> None:
+        try:
+            handler()
+        except RequestError as exc:
+            self._send_json(exc.status, exc.to_dict())
+        except QueueFullError as exc:
+            self._send_json(429, {"error": str(exc), "status": 429})
+        except JobTimeoutError as exc:
+            self._send_json(504, {"error": str(exc), "status": 504})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # pragma: no cover - defensive 500
+            _log.exception("internal error serving %s %s", self.command, self.path)
+            self._send_json(500, {"error": f"internal error: {exc}", "status": 500})
+
+    def _not_found(self) -> None:
+        self._send_json(
+            404, {"error": f"no such endpoint: {self.command} {self.path}", "status": 404}
+        )
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        def handle() -> None:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.metrics())
+            elif self.path == "/v1/algorithms":
+                self._send_json(200, self.service.algorithms())
+            elif self.path.startswith("/v1/jobs/"):
+                job_id = self.path[len("/v1/jobs/") :]
+                doc = self.service.job_status(job_id)
+                if doc is None:
+                    self._send_json(
+                        404, {"error": f"unknown job {job_id!r}", "status": 404}
+                    )
+                else:
+                    self._send_json(200, doc)
+            else:
+                self._not_found()
+
+        self._dispatch(handle)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        def handle() -> None:
+            if self.path == "/v1/solve":
+                self._send_json(200, self.service.solve(self._read_json()))
+            elif self.path == "/v1/jobs":
+                self._send_json(202, self.service.submit_job(self._read_json()))
+            else:
+                self._not_found()
+
+        self._dispatch(handle)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
+        def handle() -> None:
+            if self.path.startswith("/v1/jobs/"):
+                job_id = self.path[len("/v1/jobs/") :]
+                doc = self.service.cancel_job(job_id)
+                if doc is None:
+                    self._send_json(
+                        404, {"error": f"unknown job {job_id!r}", "status": 404}
+                    )
+                else:
+                    self._send_json(200, doc)
+            else:
+                self._not_found()
+
+        self._dispatch(handle)
+
+
+class PlanningServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` owning one :class:`PlanningService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: PlanningService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def create_server(
+    service: Optional[PlanningService] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **service_kwargs,
+) -> PlanningServer:
+    """Bind a :class:`PlanningServer` on ``(host, port)``.
+
+    ``port=0`` picks an ephemeral port (read it back from
+    ``server.server_address``); extra keyword arguments construct the
+    service when one is not supplied.
+    """
+    if service is None:
+        service = PlanningService(**service_kwargs)
+    elif service_kwargs:
+        raise TypeError("pass either a service instance or its kwargs, not both")
+    return PlanningServer((host, port), service)
+
+
+def run_server(server: PlanningServer, install_signal_handlers: bool = True) -> None:
+    """Serve until SIGTERM/SIGINT, then drain and release everything.
+
+    The signal handler stops the accept loop from a helper thread
+    (``shutdown()`` must not run on the serving thread); once the loop
+    exits, in-flight jobs are drained to completion and the socket is
+    closed — the graceful-shutdown contract of ``python -m repro serve``.
+    """
+    if install_signal_handlers:
+
+        def _stop(signum, frame) -> None:
+            _log.info("signal %d: shutting down", signum)
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.service.shutdown(drain=True)
+        server.server_close()

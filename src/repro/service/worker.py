@@ -1,0 +1,62 @@
+"""The solve executed inside pool worker processes.
+
+:func:`solve_payload` is the single module-level function the
+:class:`~repro.service.executor.JobExecutor` ships to workers — it must
+stay importable and take/return only picklable plain data (dicts,
+lists, scalars), because payloads and results cross the process
+boundary.  It rebuilds the scenario from the validated request payload,
+computes the LP upper bound, runs the requested algorithm with
+``mutate=False`` (solves are pure; this is what makes results
+cacheable), and flattens everything into the JSON response body.
+
+Worker processes carry their own (null) metrics registry, so per-solve
+phase timings come back in the result's ``profile`` dict rather than
+through the parent's registry; the parent-side ``service.*`` timers
+wrap the round trip instead.
+"""
+
+from __future__ import annotations
+
+from repro.core.lp import dcmp_lp_upper_bound
+from repro.sim.algorithms import get_algorithm
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import run_tour
+
+__all__ = ["solve_payload"]
+
+
+def solve_payload(payload: dict) -> dict:
+    """Solve one request payload; returns the JSON-ready result dict.
+
+    ``payload`` is the :meth:`~repro.service.schema.SolveRequest.payload`
+    shape: ``{"scenario": <config dict>, "algorithm": <canonical name>,
+    "seed": <int | None>}`` — already validated, so errors here are
+    genuine solver failures (surfaced as 500s), not client mistakes.
+    """
+    config = ScenarioConfig.from_dict(payload["scenario"])
+    algorithm = payload["algorithm"]
+    seed = payload.get("seed")
+
+    scenario = config.build(seed=seed)
+    instance = scenario.instance()
+    lp_bound_bits = float(dcmp_lp_upper_bound(instance))
+    result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
+
+    messages = result.messages.summary() if result.messages is not None else None
+    return {
+        "algorithm": algorithm,
+        "seed": seed,
+        "scenario": config.to_dict(),
+        "collected_bits": float(result.collected_bits),
+        "collected_megabits": float(result.collected_megabits),
+        "lp_bound_bits": lp_bound_bits,
+        "lp_bound_fraction": (
+            float(result.collected_bits) / lp_bound_bits if lp_bound_bits else 0.0
+        ),
+        "num_slots": int(instance.num_slots),
+        "gamma": int(scenario.gamma),
+        "schedule": [int(owner) for owner in result.allocation.slot_owner],
+        "total_energy_spent_j": float(result.total_energy_spent),
+        "messages": messages,
+        "profile": {k: float(v) for k, v in result.profile.items()},
+    }

@@ -35,6 +35,8 @@ __all__ = [
     "BaselineAlgorithm",
     "ALGORITHMS",
     "get_algorithm",
+    "resolve_algorithm_name",
+    "requires_fixed_power",
 ]
 
 RunOutput = Tuple[Allocation, Optional[MessageLog]]
@@ -191,3 +193,26 @@ def get_algorithm(name: str) -> TourAlgorithm:
         raise KeyError(
             f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
+
+
+def resolve_algorithm_name(name: str) -> str:
+    """Canonical registry key for ``name``, tolerating case-insensitive
+    aliases (``offline_appro`` → ``Offline_Appro``).
+
+    Raises :class:`KeyError` naming the sorted choices when nothing
+    matches — the CLI and the service schema both build their "unknown
+    algorithm" errors from this one message.
+    """
+    if name in ALGORITHMS:
+        return name
+    folded = str(name).lower()
+    for registered in ALGORITHMS:
+        if registered.lower() == folded:
+            return registered
+    raise KeyError(f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}")
+
+
+def requires_fixed_power(name: str) -> bool:
+    """Whether registered algorithm ``name`` is only exact for the
+    fixed-power special case (the MaxMatch family, Section VI)."""
+    return "MaxMatch" in name

@@ -20,8 +20,8 @@ knobs are explicit fields, so any other convention is one dataclass away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -103,6 +103,73 @@ class ScenarioConfig:
     def with_(self, **changes) -> "ScenarioConfig":
         """Functional update (sugar over :func:`dataclasses.replace`)."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field (``accumulation_hours`` becomes
+        a 2-element list; everything else is already a JSON scalar)."""
+        doc = asdict(self)
+        doc["accumulation_hours"] = [float(v) for v in self.accumulation_hours]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict`, with field validation.
+
+        Rejects unknown fields by name (sorted, so error messages are
+        deterministic) and type-checks each value before handing off to
+        ``__post_init__``'s range checks.  Raises :class:`ValueError`
+        with the offending field named, so callers (e.g. the service
+        request schema) can surface precise 400-style errors.
+        """
+        if not isinstance(doc, Mapping):
+            raise ValueError(
+                f"ScenarioConfig document must be a mapping, got {type(doc).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioConfig field(s): {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        kwargs = {}
+        for name, value in doc.items():
+            if name in ("num_sensors", "gamma_override"):
+                if value is None and name == "gamma_override":
+                    kwargs[name] = None
+                    continue
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(f"{name} must be an integer, got {value!r}")
+                kwargs[name] = value
+            elif name == "weather":
+                if not isinstance(value, str):
+                    raise ValueError(f"weather must be a string, got {value!r}")
+                kwargs[name] = value
+            elif name == "accumulation_hours":
+                if (
+                    not isinstance(value, (list, tuple))
+                    or len(value) != 2
+                    or any(
+                        isinstance(v, bool) or not isinstance(v, (int, float))
+                        for v in value
+                    )
+                ):
+                    raise ValueError(
+                        f"accumulation_hours must be a [lo, hi] number pair, got {value!r}"
+                    )
+                kwargs[name] = (float(value[0]), float(value[1]))
+            elif name == "fixed_power":
+                if value is None:
+                    kwargs[name] = None
+                elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"fixed_power must be a number or null, got {value!r}")
+                else:
+                    kwargs[name] = float(value)
+            else:  # the plain float knobs
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"{name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        return cls(**kwargs)
 
     def build(self, seed: Optional[int] = None) -> "Scenario":
         """Instantiate one random topology under this config."""

@@ -167,7 +167,12 @@ class TestCli:
         main(["compare", "--sensors", "30", "--seed", "3"])
         out = capsys.readouterr().out
         assert "Offline_Appro" in out
-        assert "Offline_MaxMatch" not in out
+        # No MaxMatch table row, but an explicit note explaining the skip.
+        table, _, note = out.partition("note: skipped")
+        assert note, "expected a one-line skip note"
+        assert "Offline_MaxMatch" not in table
+        assert "Offline_MaxMatch" in note
+        assert "--fixed-power" in note
 
     def test_coverage_subcommand(self, capsys):
         code = main(["coverage", "--sensors", "30", "--seed", "3"])

@@ -25,6 +25,7 @@ MODULES = [
     "repro.sim",
     "repro.experiments",
     "repro.viz",
+    "repro.service",
     "repro.cli",
 ]
 

@@ -83,3 +83,64 @@ def test_wrong_version_rejected(rng):
     doc["version"] = 99
     with pytest.raises(ValueError, match="version"):
         instance_from_dict(doc)
+
+
+class TestScenarioConfigRoundtrip:
+    def test_default_roundtrip_through_json(self):
+        config = ScenarioConfig()
+        doc = json.loads(json.dumps(config.to_dict()))
+        assert ScenarioConfig.from_dict(doc) == config
+
+    def test_non_default_roundtrip(self):
+        config = ScenarioConfig(
+            num_sensors=42,
+            path_length=2500.0,
+            sink_speed=10.0,
+            weather="cloudy",
+            accumulation_hours=(0.5, 2.0),
+            fixed_power=0.3,
+            gamma_override=7,
+        )
+        back = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert back == config
+        assert isinstance(back.accumulation_hours, tuple)
+
+    def test_partial_dict_uses_defaults(self):
+        config = ScenarioConfig.from_dict({"num_sensors": 10})
+        assert config.num_sensors == 10
+        assert config.sink_speed == ScenarioConfig().sink_speed
+
+    def test_unknown_field_rejected_by_name(self):
+        with pytest.raises(ValueError, match="bogus"):
+            ScenarioConfig.from_dict({"bogus": 1})
+
+    def test_type_errors_name_the_field(self):
+        with pytest.raises(ValueError, match="num_sensors"):
+            ScenarioConfig.from_dict({"num_sensors": "many"})
+        with pytest.raises(ValueError, match="num_sensors"):
+            ScenarioConfig.from_dict({"num_sensors": True})
+        with pytest.raises(ValueError, match="sink_speed"):
+            ScenarioConfig.from_dict({"sink_speed": "fast"})
+        with pytest.raises(ValueError, match="weather"):
+            ScenarioConfig.from_dict({"weather": 3})
+        with pytest.raises(ValueError, match="accumulation_hours"):
+            ScenarioConfig.from_dict({"accumulation_hours": [1.0]})
+        with pytest.raises(ValueError, match="fixed_power"):
+            ScenarioConfig.from_dict({"fixed_power": "0.3"})
+
+    def test_range_errors_still_apply(self):
+        with pytest.raises(ValueError, match="num_sensors"):
+            ScenarioConfig.from_dict({"num_sensors": -1})
+        with pytest.raises(ValueError, match="weather"):
+            ScenarioConfig.from_dict({"weather": "hail"})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioConfig.from_dict([("num_sensors", 3)])
+
+    def test_roundtrip_builds_identical_topology(self):
+        config = ScenarioConfig(num_sensors=25, path_length=1200.0)
+        back = ScenarioConfig.from_dict(config.to_dict())
+        a = config.build(seed=5)
+        b = back.build(seed=5)
+        np.testing.assert_array_equal(a.network.positions, b.network.positions)

@@ -1,0 +1,491 @@
+"""Planning-service tests: HTTP API, cache, executor, shutdown.
+
+Covers the request lifecycle end to end: a live threaded server on an
+ephemeral port (every registered algorithm solved over the wire), the
+typed 400/404/429/504 errors, content-addressed caching with in-flight
+coalescing, async submit/poll, graceful drain, and a real
+``python -m repro serve`` subprocess surviving SIGTERM with in-flight
+work.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.service import (
+    JobExecutor,
+    JobState,
+    JobTimeoutError,
+    PlanningService,
+    QueueFullError,
+    RequestError,
+    ResultCache,
+    create_server,
+    parse_solve_request,
+    solve_cache_key,
+)
+from repro.sim.algorithms import ALGORITHMS, requires_fixed_power
+
+SMALL = {"num_sensors": 30, "path_length": 1500.0}
+BIG = {"num_sensors": 300}
+
+
+def _request(port, path, method="GET", doc=None, raw=None, timeout=120):
+    data = None
+    if raw is not None:
+        data = raw
+    elif doc is not None:
+        data = json.dumps(doc).encode("utf-8")
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _solve_body(scenario=SMALL, algorithm="Offline_Appro", seed=7):
+    return {"scenario": dict(scenario), "algorithm": algorithm, "seed": seed}
+
+
+# ----------------------------------------------------------------------
+# picklable helpers for executor-level tests (must be module level)
+
+
+def _sleep_echo(payload):
+    time.sleep(payload.get("sleep", 0.2))
+    return dict(payload)
+
+
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One live server + its service/registry, shared by the fast tests."""
+    registry = MetricsRegistry()
+    service = PlanningService(
+        workers=2, cache_size=64, request_timeout=120.0, registry=registry
+    )
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server.server_address[1], service
+    server.shutdown()
+    service.shutdown()
+    thread.join(timeout=10)
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        port, _ = served
+        status, doc = _request(port, "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["queue"]["max_queue"] >= 1
+        assert doc["cache"]["max_entries"] == 64
+
+    def test_algorithms_catalogue(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/algorithms")
+        assert status == 200
+        names = [entry["name"] for entry in doc["algorithms"]]
+        assert names == sorted(ALGORITHMS)
+        by_name = {entry["name"]: entry for entry in doc["algorithms"]}
+        assert by_name["Offline_MaxMatch"]["requires_fixed_power"] is True
+        assert by_name["Offline_Appro"]["requires_fixed_power"] is False
+
+    def test_unknown_route_is_404(self, served):
+        port, _ = served
+        assert _request(port, "/nope")[0] == 404
+        assert _request(port, "/v1/solve", method="GET")[0] == 404
+
+    def test_metrics_snapshot_shape(self, served):
+        port, _ = served
+        status, doc = _request(port, "/metrics")
+        assert status == 200
+        assert set(doc) == {"counters", "gauges", "timers"}
+
+
+class TestSolve:
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_solve_every_algorithm(self, served, name):
+        port, _ = served
+        scenario = dict(SMALL)
+        if requires_fixed_power(name):
+            scenario["fixed_power"] = 0.3
+        status, doc = _request(
+            port, "/v1/solve", "POST", _solve_body(scenario, algorithm=name)
+        )
+        assert status == 200, doc
+        assert doc["algorithm"] == name
+        assert doc["collected_megabits"] > 0
+        assert 0 < doc["lp_bound_fraction"] <= 1.0 + 1e-9
+        assert len(doc["schedule"]) == doc["num_slots"]
+        assert doc["profile"]["solve_s"] >= 0
+
+    def test_lowercase_alias_resolves(self, served):
+        port, _ = served
+        status, doc = _request(
+            port, "/v1/solve", "POST", _solve_body(algorithm="offline_appro", seed=11)
+        )
+        assert status == 200
+        assert doc["algorithm"] == "Offline_Appro"
+
+    def test_repeat_request_served_from_cache(self, served):
+        port, service = served
+        body = _solve_body(seed=21)
+        first = _request(port, "/v1/solve", "POST", body)
+        second = _request(port, "/v1/solve", "POST", body)
+        assert first[0] == second[0] == 200
+        assert first[1]["cached"] is False
+        assert second[1]["cached"] is True
+        assert second[1]["collected_bits"] == first[1]["collected_bits"]
+        status, metrics = _request(port, "/metrics")
+        assert metrics["counters"]["service.cache.hit"] >= 1
+        assert service.registry.counter("service.cache.hit") >= 1
+
+    def test_concurrent_identical_requests_share_one_job(self, served):
+        port, service = served
+        before = service.registry.counter("service.jobs.submitted")
+        body = _solve_body({"num_sensors": 150}, seed=33)
+        results = []
+
+        def hit():
+            results.append(_request(port, "/v1/solve", "POST", body))
+
+        threads = [threading.Thread(target=hit) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [status for status, _ in results] == [200, 200]
+        bits = {doc["collected_bits"] for _, doc in results}
+        assert len(bits) == 1
+        after = service.registry.counter("service.jobs.submitted")
+        assert after - before == 1  # coalesced in flight (or cache hit)
+
+
+class TestValidation:
+    def test_malformed_json_is_400(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/solve", "POST", raw=b"{not json")
+        assert status == 400
+        assert "malformed JSON" in doc["error"]
+
+    def test_unknown_algorithm_400_lists_sorted_choices(self, served):
+        port, _ = served
+        status, doc = _request(
+            port, "/v1/solve", "POST", _solve_body(algorithm="Nope")
+        )
+        assert status == 400
+        assert doc["field"] == "algorithm"
+        assert f"choose from {sorted(ALGORITHMS)}" in doc["error"]
+
+    def test_unknown_scenario_field_is_400(self, served):
+        port, _ = served
+        status, doc = _request(
+            port, "/v1/solve", "POST", {"scenario": {"bogus": 1}}
+        )
+        assert status == 400
+        assert doc["field"] == "scenario"
+        assert "bogus" in doc["error"]
+
+    def test_out_of_range_sensors_is_400(self, served):
+        port, _ = served
+        status, doc = _request(
+            port, "/v1/solve", "POST", {"scenario": {"num_sensors": -3}}
+        )
+        assert status == 400
+        assert "num_sensors" in doc["error"]
+
+    def test_maxmatch_without_fixed_power_is_400(self, served):
+        port, _ = served
+        status, doc = _request(
+            port, "/v1/solve", "POST", _solve_body(algorithm="Online_MaxMatch")
+        )
+        assert status == 400
+        assert "fixed-power special case" in doc["error"]
+        assert "fixed_power" in doc["error"]
+
+    def test_unknown_top_level_field_is_400(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/solve", "POST", {"seeed": 1})
+        assert status == 400
+        assert "seeed" in doc["error"]
+
+    def test_non_object_body_is_400(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/solve", "POST", raw=b"[1, 2]")
+        assert status == 400
+        assert "JSON object" in doc["error"]
+
+
+class TestAsyncJobs:
+    def test_submit_poll_roundtrip(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/jobs", "POST", _solve_body(seed=55))
+        assert status == 202
+        job_id = doc["job_id"]
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status, doc = _request(port, f"/v1/jobs/{job_id}")
+            assert status == 200
+            if doc["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert doc["state"] == "done"
+        assert doc["error"] is None
+        assert doc["result"]["collected_megabits"] > 0
+
+    def test_cached_submit_returns_finished_job(self, served):
+        port, _ = served
+        body = _solve_body(seed=56)
+        assert _request(port, "/v1/solve", "POST", body)[0] == 200
+        status, doc = _request(port, "/v1/jobs", "POST", body)
+        assert status == 202
+        assert doc["cached"] is True
+        status, doc = _request(port, f"/v1/jobs/{doc['job_id']}")
+        assert doc["state"] == "done"
+        assert doc["result"]["collected_megabits"] > 0
+
+    def test_unknown_job_is_404(self, served):
+        port, _ = served
+        assert _request(port, "/v1/jobs/job-999999")[0] == 404
+        assert _request(port, "/v1/jobs/job-999999", method="DELETE")[0] == 404
+
+
+class TestBackpressure:
+    @pytest.fixture()
+    def tiny_server(self):
+        """workers=1, queue bound 1, 50 ms deadline — saturates easily."""
+        registry = MetricsRegistry()
+        service = PlanningService(
+            workers=1,
+            cache_size=8,
+            request_timeout=0.05,
+            max_queue=1,
+            registry=registry,
+        )
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server.server_address[1], service
+        server.shutdown()
+        service.shutdown()  # drains the straggler solve
+        thread.join(timeout=10)
+
+    def test_timeout_504_then_queue_full_429(self, tiny_server):
+        port, service = tiny_server
+        status, doc = _request(port, "/v1/solve", "POST", _solve_body(BIG, seed=1))
+        assert status == 504
+        assert doc["status"] == 504
+        assert "deadline" in doc["error"]
+        assert service.registry.counter("service.timeout") >= 1
+        # The timed-out solve still occupies the single queue slot.
+        status, doc = _request(port, "/v1/jobs", "POST", _solve_body(BIG, seed=2))
+        assert status == 429
+        assert "queue full" in doc["error"]
+        assert service.registry.counter("service.rejected") >= 1
+
+
+class TestExecutor:
+    def test_coalesces_unfinished_jobs_by_key(self):
+        executor = JobExecutor(workers=1, max_queue=4)
+        try:
+            job1, created1 = executor.submit(_sleep_echo, {"sleep": 0.4}, key="k")
+            job2, created2 = executor.submit(_sleep_echo, {"sleep": 0.4}, key="k")
+            assert created1 and not created2
+            assert job1 is job2
+            assert executor.wait(job1, timeout=30) == {"sleep": 0.4}
+            # Once finished, the key is released and a new job is created.
+            job3, created3 = executor.submit(_sleep_echo, {"sleep": 0.0}, key="k")
+            assert created3 and job3 is not job1
+            executor.wait(job3, timeout=30)
+        finally:
+            executor.shutdown()
+
+    def test_cancel_queued_job(self):
+        executor = JobExecutor(workers=1, max_queue=4)
+        try:
+            blocker, _ = executor.submit(_sleep_echo, {"sleep": 0.5})
+            queued, _ = executor.submit(_sleep_echo, {"sleep": 0.0})
+            assert executor.cancel(queued.id) is True
+            assert queued.state is JobState.CANCELLED
+            with pytest.raises(JobTimeoutError):
+                executor.wait(queued, timeout=5)
+            executor.wait(blocker, timeout=30)
+            assert executor.cancel("job-999999") is False
+        finally:
+            executor.shutdown()
+
+    def test_wait_timeout_marks_job(self):
+        executor = JobExecutor(workers=1, max_queue=4)
+        try:
+            job, _ = executor.submit(_sleep_echo, {"sleep": 1.0})
+            with pytest.raises(JobTimeoutError):
+                executor.wait(job, timeout=0.05)
+            assert job.state is JobState.TIMEOUT
+            assert job.snapshot()["state"] == "timeout"
+        finally:
+            executor.shutdown()
+
+    def test_rejects_beyond_max_queue(self):
+        registry = MetricsRegistry()
+        executor = JobExecutor(workers=1, max_queue=1, registry=registry)
+        try:
+            executor.submit(_sleep_echo, {"sleep": 0.3})
+            with pytest.raises(QueueFullError):
+                executor.submit(_sleep_echo, {"sleep": 0.0})
+            assert registry.counter("service.rejected") == 1
+        finally:
+            executor.shutdown()
+
+    def test_shutdown_refuses_new_jobs(self):
+        executor = JobExecutor(workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            executor.submit(_sleep_echo, {})
+
+
+class TestShutdown:
+    def test_graceful_shutdown_drains_in_flight_jobs(self):
+        service = PlanningService(
+            workers=2, cache_size=8, request_timeout=None, registry=MetricsRegistry()
+        )
+        ids = [
+            service.submit_job(_solve_body(seed=seed))["job_id"] for seed in (61, 62)
+        ]
+        service.shutdown(drain=True)  # blocks until both solves finish
+        for job_id in ids:
+            doc = service.job_status(job_id)
+            assert doc["state"] == "done"
+            assert doc["result"]["collected_megabits"] > 0
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                str(port),
+                "--workers",
+                "1",
+            ],
+            env=env,
+            cwd=tmp_path,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    if _request(port, "/healthz", timeout=5)[0] == 200:
+                        break
+                except (urllib.error.URLError, OSError):
+                    time.sleep(0.2)
+            else:
+                pytest.fail("server never became healthy")
+            # Put a solve in flight, then SIGTERM mid-job.
+            status, doc = _request(port, "/v1/jobs", "POST", _solve_body(BIG, seed=3))
+            assert status == 202 and doc["cached"] is False
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "shut down cleanly (in-flight jobs drained)" in out
+
+
+class TestSchema:
+    def test_defaults_and_canonicalisation(self):
+        request = parse_solve_request({"scenario": {}, "algorithm": "online_appro"})
+        assert request.algorithm == "Online_Appro"
+        assert request.seed is None
+        assert request.config.num_sensors == 300
+
+    def test_payload_is_plain_data(self):
+        request = parse_solve_request(_solve_body())
+        payload = request.payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_sensor_cap_is_400(self):
+        with pytest.raises(RequestError) as err:
+            parse_solve_request(
+                {"scenario": {"num_sensors": 100}}, max_sensors=50
+            )
+        assert err.value.status == 400
+        assert "out of range" in err.value.message
+
+    def test_bad_seed(self):
+        with pytest.raises(RequestError, match="seed"):
+            parse_solve_request({"seed": "seven"})
+        with pytest.raises(RequestError, match="seed"):
+            parse_solve_request({"seed": True})
+
+    def test_error_body_shape(self):
+        err = RequestError("boom", status=413, field="scenario")
+        assert err.to_dict() == {"error": "boom", "status": 413, "field": "scenario"}
+
+
+class TestCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_entries=2, registry=MetricsRegistry())
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes "a"
+        cache.put("c", {"v": 3})  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(max_entries=4, registry=registry)
+        assert cache.get("x") is None
+        cache.put("x", {"v": 1})
+        assert cache.get("x") == {"v": 1}
+        assert registry.counter("service.cache.miss") == 1
+        assert registry.counter("service.cache.hit") == 1
+
+    def test_zero_capacity_disables_storage(self):
+        cache = ResultCache(max_entries=0, registry=MetricsRegistry())
+        cache.put("x", {"v": 1})
+        assert cache.get("x") is None
+
+    def test_key_is_field_order_independent(self):
+        a = solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "A", 1)
+        b = solve_cache_key({"sink_speed": 5.0, "num_sensors": 10}, "A", 1)
+        c = solve_cache_key({"num_sensors": 11, "sink_speed": 5.0}, "A", 1)
+        assert a == b
+        assert a != c
+        assert a != solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "B", 1)
+        assert a != solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "A", 2)
