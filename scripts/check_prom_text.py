@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) file; used by CI smoke.
+
+Usage: check_prom_text.py FILE [required-metric ...]
+Exits non-zero on a malformed line, a TYPE-less sample family, or a
+missing required metric.
+"""
+import re
+import sys
+
+SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})? '
+    r"(?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf)|NaN)$"
+)
+
+path, required = sys.argv[1], sys.argv[2:]
+typed, seen = set(), set()
+for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+    line = line.rstrip("\n")
+    if not line or line.startswith("# HELP"):
+        continue
+    if line.startswith("# TYPE"):
+        typed.add(line.split()[2])
+        continue
+    match = SAMPLE.match(line)
+    if match is None:
+        sys.exit(f"{path}:{lineno}: malformed sample line: {line!r}")
+    name = match.group("name")
+    base = re.sub(r"_(?:sum|count|total|bucket)$", "", name)
+    if not ({name, base} & typed):
+        sys.exit(f"{path}:{lineno}: sample {name!r} has no preceding # TYPE")
+    seen.update({name, base})
+missing = [m for m in required if m not in seen]
+if missing:
+    sys.exit(f"{path}: missing required metric(s): {', '.join(missing)}")
+print(f"{path}: OK ({len(seen)} metric names, {len(typed)} typed families)")

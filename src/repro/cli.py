@@ -24,9 +24,17 @@ Subcommands:
 
       python -m repro coverage --sensors 300 --seed 7
 
-* ``serve`` — run the HTTP planning service (see ``docs/SERVICE.md``)::
+* ``serve`` — run the HTTP planning service (see ``docs/SERVICE.md``);
+  JSON access logs go to stderr (or ``--access-log PATH``) and slow
+  requests can persist solver traces::
 
       python -m repro serve --port 8080 --workers 4 --cache-size 256
+      python -m repro serve --trace-threshold 1.0 --trace-dir traces
+
+* ``bench`` — run the fixed core benchmark grid and (optionally) write
+  the machine-readable document::
+
+      python -m repro bench --quick --json BENCH_core.json
 
 The global ``-v/--verbose`` flag (repeatable) raises the ``repro``
 logger hierarchy from WARNING to INFO (``-v``) or DEBUG (``-vv``).
@@ -171,6 +179,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="bound on unfinished jobs (429 beyond it)",
+    )
+    serve.add_argument(
+        "--trace-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="persist solver span traces of synchronous solves slower than "
+        "this many seconds (0 traces every request; default: disabled)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="directory slow-request Chrome traces are written to "
+        "(default: ./traces when --trace-threshold is set)",
+    )
+    serve.add_argument(
+        "--access-log",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append JSON access-log lines to this file (default: stderr)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed core benchmark grid (wall clock + registry stats)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small/fast grid (n=30,60 on a 1.5 km path) instead of n=100,300",
+    )
+    bench.add_argument("--seed", type=int, default=7, help="topology seed")
+    bench.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON document (e.g. BENCH_core.json) here",
     )
 
     return parser
@@ -374,22 +423,40 @@ def _run_coverage(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.obs import enable_metrics
+    from repro.obs import configure_access_log, enable_metrics
     from repro.service import PlanningService, create_server, run_server
 
     registry = enable_metrics()
+    configure_access_log(path=args.access_log)
     service = PlanningService(
         workers=args.workers,
         cache_size=args.cache_size,
         request_timeout=args.request_timeout,
         max_queue=args.max_queue,
         registry=registry,
+        trace_threshold=args.trace_threshold,
+        trace_dir=args.trace_dir,
     )
     server = create_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"repro planning service listening on http://{host}:{port}", flush=True)
     run_server(server)
     print("planning service shut down cleanly (in-flight jobs drained)", flush=True)
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench import render_bench, run_bench
+
+    document = run_bench(quick=args.quick, seed=args.seed)
+    print(render_bench(document))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(f"[bench document written to {args.json}]")
     return 0
 
 
@@ -410,6 +477,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_coverage(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "bench":
+        return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -1,0 +1,115 @@
+"""Core benchmark: a fixed small scenario set run per algorithm.
+
+``python -m repro bench`` runs every registered algorithm over a fixed,
+deterministic scenario grid and reports wall-clock plus the metrics
+registry's per-phase breakdown for each cell — the repo's committed
+perf trajectory (``BENCH_core.json`` at the repo root is the
+``--quick`` output, refreshed by CI as a build artifact).
+
+Two grids:
+
+* ``--quick`` — ``n ∈ {30, 60}`` on a shortened 1.5 km path: seconds
+  end to end, suitable for CI smoke and the committed baseline;
+* full (default) — ``n ∈ {100, 300}`` on the paper's 10 km path.
+
+Each cell solves one seeded topology under a fresh recording
+:class:`~repro.obs.registry.MetricsRegistry`, so the JSON document
+carries solver counters (``knapsack.calls``, ``mcmf.solves``, …) and
+timer histograms next to the wall-clock numbers.  Wall times vary
+machine to machine; the committed file is a trajectory anchor, not a
+regression gate.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.sim.algorithms import ALGORITHMS, get_algorithm, requires_fixed_power
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import run_tour
+
+__all__ = ["BENCH_FORMAT", "BENCH_VERSION", "run_bench", "render_bench"]
+
+BENCH_FORMAT = "repro.bench"
+BENCH_VERSION = 1
+
+#: (num_sensors, path_length) cells of the two grids.
+QUICK_GRID: Tuple[Tuple[int, float], ...] = ((30, 1500.0), (60, 1500.0))
+FULL_GRID: Tuple[Tuple[int, float], ...] = ((100, 10_000.0), (300, 10_000.0))
+
+#: Power pinned for the MaxMatch family (the paper's Section VI value).
+FIXED_POWER = 0.3
+
+
+def run_bench(
+    quick: bool = False,
+    seed: int = 7,
+    grid: Optional[Sequence[Tuple[int, float]]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark grid; returns the JSON-ready document.
+
+    ``grid`` / ``algorithms`` override the built-in cells (used by
+    tests to shrink the run); by default every registered algorithm
+    runs on every cell of the quick or full grid.
+    """
+    cells = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
+    names = list(algorithms) if algorithms is not None else sorted(ALGORITHMS)
+    entries: List[Dict[str, object]] = []
+    for num_sensors, path_length in cells:
+        for name in names:
+            fixed_power = FIXED_POWER if requires_fixed_power(name) else None
+            config = ScenarioConfig(
+                num_sensors=num_sensors,
+                path_length=path_length,
+                fixed_power=fixed_power,
+            )
+            registry = MetricsRegistry()
+            t0 = time.perf_counter()
+            with use_registry(registry):
+                scenario = config.build(seed=seed)
+                result = run_tour(scenario, get_algorithm(name), mutate=False)
+            wall_s = time.perf_counter() - t0
+            snapshot = registry.snapshot()
+            entries.append(
+                {
+                    "algorithm": name,
+                    "num_sensors": num_sensors,
+                    "path_length": path_length,
+                    "fixed_power": fixed_power,
+                    "seed": seed,
+                    "wall_s": wall_s,
+                    "collected_megabits": float(result.collected_megabits),
+                    "profile": {k: float(v) for k, v in result.profile.items()},
+                    "counters": snapshot["counters"],
+                    "timers": snapshot["timers"],
+                }
+            )
+    return {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "quick": bool(quick),
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "entries": entries,
+    }
+
+
+def render_bench(document: Dict[str, object]) -> str:
+    """Human-readable table of one :func:`run_bench` document."""
+    lines = [
+        f"{'algorithm':<26} {'n':>5} {'wall ms':>9} {'solve ms':>9} {'Mb':>9}",
+    ]
+    for entry in document["entries"]:
+        solve_ms = entry["profile"].get("solve_s", 0.0) * 1e3
+        lines.append(
+            f"{entry['algorithm']:<26} {entry['num_sensors']:>5} "
+            f"{entry['wall_s'] * 1e3:>9.1f} {solve_ms:>9.1f} "
+            f"{entry['collected_megabits']:>9.2f}"
+        )
+    return "\n".join(lines)

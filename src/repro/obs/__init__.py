@@ -14,6 +14,17 @@ Three cooperating pieces, all off (and near-free) by default:
   hierarchy behind :func:`get_logger`, wired to the CLI's
   ``-v/--verbose`` flag through :func:`configure_logging`.
 
+Three request-scoped pieces serve the HTTP planning service:
+
+* **context** (:mod:`repro.obs.context`) — a ``contextvars``-carried
+  request id (honouring inbound ``X-Request-Id``) plus free-form
+  annotations, stamped into log records and span attributes;
+* **access logs** (:mod:`repro.obs.accesslog`) — one structured JSON
+  line per served request through the dedicated ``repro.access`` logger;
+* **Prometheus exposition** (:mod:`repro.obs.promexpo`) —
+  :func:`render_prometheus` turns any registry snapshot into text
+  exposition format 0.0.4 for ``GET /metrics?format=prometheus``.
+
 :func:`profile_report` fuses a tour result and a registry snapshot into
 the JSON document ``python -m repro profile`` emits.
 
@@ -29,7 +40,23 @@ Quick profile of a run::
     print(result.profile)   # per-phase seconds
 """
 
+from repro.obs.accesslog import (
+    AccessLogFormatter,
+    configure_access_log,
+    get_access_logger,
+    log_access,
+)
+from repro.obs.context import (
+    RequestContext,
+    RequestIdFilter,
+    annotate,
+    current_context,
+    current_request_id,
+    new_request_id,
+    request_context,
+)
 from repro.obs.log import configure_logging, get_logger, verbosity_to_level
+from repro.obs.promexpo import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
@@ -49,6 +76,7 @@ from repro.obs.tracing import (
     NullTracer,
     SpanEvent,
     Tracer,
+    chrome_trace_document,
     events_from_jsonl,
     get_tracer,
     set_tracer,
@@ -79,10 +107,27 @@ __all__ = [
     "use_tracer",
     "span",
     "events_from_jsonl",
+    "chrome_trace_document",
     # logging
     "get_logger",
     "configure_logging",
     "verbosity_to_level",
+    # request context
+    "RequestContext",
+    "RequestIdFilter",
+    "request_context",
+    "current_context",
+    "current_request_id",
+    "new_request_id",
+    "annotate",
+    # access log
+    "AccessLogFormatter",
+    "configure_access_log",
+    "get_access_logger",
+    "log_access",
+    # prometheus exposition
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
     # reports
     "profile_report",
     "render_profile_report",

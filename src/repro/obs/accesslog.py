@@ -1,0 +1,122 @@
+"""Structured JSON access logs: one line per served HTTP request.
+
+The planning server emits one :func:`log_access` call per request; each
+becomes a single compact JSON object on its own line::
+
+    {"time": "2026-08-06T12:00:00+0000", "method": "POST",
+     "path": "/v1/solve", "status": 200, "duration_ms": 412.7,
+     "request_id": "9f0c...", "cached": false, "job_id": "job-000004"}
+
+Lines go through a dedicated ``repro.access`` logger that never
+propagates into the human-readable ``repro.*`` hierarchy (and vice
+versa), so access logs can be shipped to a file while diagnostics stay
+on stderr.  Until :func:`configure_access_log` runs, the logger only
+carries a ``NullHandler`` — embedding the service in tests or
+notebooks produces no output unless asked.
+
+Field order is stable (``time``, ``method``, ``path``, ``status``,
+``duration_ms``, ``request_id``, then any request annotations sorted by
+key), which keeps lines diffable and greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import IO, Optional
+
+__all__ = [
+    "ACCESS_LOGGER_NAME",
+    "AccessLogFormatter",
+    "get_access_logger",
+    "configure_access_log",
+    "log_access",
+]
+
+#: Dedicated logger for access lines (deliberately non-propagating).
+ACCESS_LOGGER_NAME = "repro.access"
+
+#: Marker attribute identifying the handler configure_access_log installed.
+_HANDLER_FLAG = "_repro_access_handler"
+
+_access = logging.getLogger(ACCESS_LOGGER_NAME)
+_access.propagate = False
+_access.setLevel(logging.INFO)
+_access.addHandler(logging.NullHandler())
+
+
+class AccessLogFormatter(logging.Formatter):
+    """Renders records whose ``msg`` is a dict as one JSON line.
+
+    Non-dict messages (stray ``logger.info("text")`` calls) are wrapped
+    as ``{"message": ...}`` so the output stream stays line-JSON.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = record.msg if isinstance(record.msg, dict) else {"message": record.getMessage()}
+        return json.dumps(doc, separators=(",", ":"), default=str)
+
+
+def get_access_logger() -> logging.Logger:
+    """The dedicated ``repro.access`` logger."""
+    return _access
+
+
+def configure_access_log(
+    stream: Optional[IO[str]] = None, path: Optional[str] = None
+) -> logging.Logger:
+    """Attach (or replace) the JSON line handler on ``repro.access``.
+
+    Parameters
+    ----------
+    stream:
+        Target stream (default: stderr). Ignored when ``path`` is given.
+    path:
+        Append access lines to this file instead of a stream.
+
+    Idempotent in the :func:`repro.obs.log.configure_logging` sense:
+    repeated calls swap the previously installed handler rather than
+    stacking duplicates.
+    """
+    for existing in list(_access.handlers):
+        if getattr(existing, _HANDLER_FLAG, False):
+            _access.removeHandler(existing)
+            existing.close()
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream)
+    handler.setFormatter(AccessLogFormatter())
+    handler.setLevel(logging.INFO)
+    setattr(handler, _HANDLER_FLAG, True)
+    _access.addHandler(handler)
+    return _access
+
+
+def log_access(
+    method: str,
+    path: str,
+    status: Optional[int],
+    duration_ms: float,
+    request_id: str,
+    **annotations: object,
+) -> None:
+    """Emit one access-log line (a no-op until a handler is configured).
+
+    ``annotations`` carries the request-scoped extras (``cached``,
+    ``job_id``, ``trace_path``, …) and lands after the fixed fields,
+    sorted by key.
+    """
+    doc = {
+        "time": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "method": method,
+        "path": path,
+        "status": status,
+        "duration_ms": round(float(duration_ms), 3),
+        "request_id": request_id,
+    }
+    for key in sorted(annotations):
+        doc[key] = annotations[key]
+    _access.info(doc)

@@ -1,0 +1,119 @@
+"""Request-scoped context propagation via :mod:`contextvars`.
+
+The planning service handles each HTTP request on its own thread (and,
+with keep-alive, several sequential requests per thread), so "the
+current request" is carried in a :class:`contextvars.ContextVar` rather
+than in thread-locals or plumbed parameters.  One
+:class:`RequestContext` per request holds:
+
+* ``request_id`` — a generated 32-hex-char id, or the client's own
+  ``X-Request-Id`` header when it passes :data:`REQUEST_ID_PATTERN`
+  (ids are echoed into response headers, log records, span attributes
+  and the access log, so hostile values are never trusted verbatim);
+* ``annotations`` — free-form key/values the service layers attach
+  while the request is in flight (cache hit/miss, job id, slow-trace
+  path); the HTTP handler folds them into the access-log line.
+
+Producers deeper in the stack never see the HTTP layer: they call
+:func:`annotate` / :func:`current_request_id`, which are no-ops /
+``None`` outside a request.  :class:`RequestIdFilter` injects the
+current id into every log record (``record.request_id``), which is how
+``repro.*`` log lines and the JSON access log correlate.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+import re
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "RequestContext",
+    "RequestIdFilter",
+    "REQUEST_ID_PATTERN",
+    "new_request_id",
+    "current_context",
+    "current_request_id",
+    "annotate",
+    "request_context",
+]
+
+#: Inbound ``X-Request-Id`` values must match this to be honoured;
+#: anything else (too long, spaces, control bytes) gets a fresh id.
+REQUEST_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
+
+
+@dataclass
+class RequestContext:
+    """One in-flight request: its id plus free-form annotations."""
+
+    request_id: str
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+
+_context: "contextvars.ContextVar[Optional[RequestContext]]" = contextvars.ContextVar(
+    "repro_request_context", default=None
+)
+
+
+def new_request_id() -> str:
+    """A fresh 32-hex-char request id."""
+    return uuid.uuid4().hex
+
+
+def current_context() -> Optional[RequestContext]:
+    """The active :class:`RequestContext`, or ``None`` outside a request."""
+    return _context.get()
+
+
+def current_request_id() -> Optional[str]:
+    """The active request id, or ``None`` outside a request."""
+    ctx = _context.get()
+    return None if ctx is None else ctx.request_id
+
+
+def annotate(key: str, value: object) -> None:
+    """Attach ``key=value`` to the current request's annotations.
+
+    A silent no-op outside a request, so library code can annotate
+    unconditionally (the access log picks the annotations up).
+    """
+    ctx = _context.get()
+    if ctx is not None:
+        ctx.annotations[key] = value
+
+
+@contextmanager
+def request_context(request_id: Optional[str] = None) -> Iterator[RequestContext]:
+    """Scope one request: install a :class:`RequestContext` for the block.
+
+    ``request_id`` is honoured when it matches :data:`REQUEST_ID_PATTERN`
+    (the inbound ``X-Request-Id`` case); otherwise — absent, empty, or
+    suspicious — a fresh id is generated.  Contexts nest: an inner
+    ``with`` shadows the outer one and restores it on exit.
+    """
+    if not request_id or not REQUEST_ID_PATTERN.match(request_id):
+        request_id = new_request_id()
+    ctx = RequestContext(request_id=request_id)
+    token = _context.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _context.reset(token)
+
+
+class RequestIdFilter(logging.Filter):
+    """Logging filter stamping ``record.request_id`` on every record.
+
+    Records emitted outside a request get ``"-"``, so format strings
+    referencing ``%(request_id)s`` never raise.  Attached by
+    :func:`repro.obs.log.configure_logging` to its stream handler.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.request_id = current_request_id() or "-"
+        return True

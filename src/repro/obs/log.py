@@ -24,6 +24,8 @@ from __future__ import annotations
 import logging
 from typing import IO, Optional
 
+from repro.obs.context import RequestIdFilter
+
 __all__ = ["get_logger", "configure_logging", "verbosity_to_level"]
 
 #: Root of the library's logger hierarchy.
@@ -36,6 +38,22 @@ _HANDLER_FLAG = "_repro_obs_handler"
 
 _root = logging.getLogger(ROOT_LOGGER_NAME)
 _root.addHandler(logging.NullHandler())
+
+
+class _ContextFormatter(logging.Formatter):
+    """The standard format, suffixed with the request id when one is set.
+
+    Records emitted outside a service request (the ``"-"`` case, per
+    :class:`~repro.obs.context.RequestIdFilter`) render exactly as
+    before, so CLI output stays unchanged.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        request_id = getattr(record, "request_id", "-")
+        if request_id and request_id != "-":
+            line = f"{line} [request_id={request_id}]"
+        return line
 
 
 def get_logger(name: str = "") -> logging.Logger:
@@ -87,7 +105,8 @@ def configure_logging(
             break
     if handler is None:
         handler = logging.StreamHandler(stream)
-        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.setFormatter(_ContextFormatter(_FORMAT))
+        handler.addFilter(RequestIdFilter())
         setattr(handler, _HANDLER_FLAG, True)
         _root.addHandler(handler)
     elif stream is not None:

@@ -1,0 +1,152 @@
+"""Prometheus text exposition (format 0.0.4) for registry snapshots.
+
+:func:`render_prometheus` turns any
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` into the plain-text
+format Prometheus scrapes, without adding a dependency on any client
+library:
+
+* **counters** → ``<ns>_<name>_total`` ``counter`` samples;
+* **gauges**   → ``<ns>_<name>`` ``gauge`` samples;
+* **timers**   → ``<ns>_<name>_seconds`` ``summary`` families with
+  ``{quantile="0.5"}`` / ``{quantile="0.95"}`` samples plus the
+  standard ``_sum`` and ``_count`` series.
+
+Metric names are sanitised to ``[a-zA-Z0-9_:]`` (dots become
+underscores: ``service.cache.hit`` → ``repro_service_cache_hit_total``).
+The registry's bracket convention for dynamic variants —
+``knapsack.method[few_weights]`` — is mapped onto a real Prometheus
+label whose name is the last dotted segment::
+
+    repro_knapsack_method_total{method="few_weights"} 100
+
+Label values are escaped per the exposition spec (backslash, double
+quote, newline).  Output is deterministic: families sort by metric
+name, samples within a family by label value — stable enough for
+golden-file tests and diffable scrapes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "render_prometheus"]
+
+#: Content-Type the /metrics endpoint must declare for text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_BRACKET = re.compile(r"^(?P<base>[^\[\]]+)\[(?P<value>.*)\]$", re.DOTALL)
+
+
+def _sanitize(name: str) -> str:
+    """Coerce a registry name into a legal Prometheus metric name."""
+    clean = _INVALID_CHARS.sub("_", name)
+    if not clean:
+        return "_"
+    if clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _split_variant(raw: str) -> Tuple[str, Optional[str], Optional[str]]:
+    """Split ``base[variant]`` names into (base, label name, label value).
+
+    Plain names return ``(raw, None, None)``.  The label name is the
+    last dotted segment of the base (``knapsack.method[x]`` → label
+    ``method``), so the variant reads naturally in PromQL selectors.
+    """
+    match = _BRACKET.match(raw)
+    if match is None:
+        return raw, None, None
+    base = match.group("base")
+    label = _sanitize(base.rsplit(".", 1)[-1])
+    return base, label, match.group("value")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _sample(name: str, labels: List[Tuple[str, str]], value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"' for key, val in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
+    """Render a registry snapshot as Prometheus text exposition 0.0.4.
+
+    ``snapshot`` is the ``{"counters": .., "gauges": .., "timers": ..}``
+    shape of :meth:`MetricsRegistry.snapshot`; timer entries are the
+    ``TimerStats.as_dict`` summaries.  Returns ``""`` for an entirely
+    empty snapshot, otherwise newline-terminated text.
+    """
+    ns = _sanitize(namespace)
+    # metric name -> (type, help base name, [(labels, value)])
+    families: Dict[str, Tuple[str, str, List[Tuple[List[Tuple[str, str]], float]]]] = {}
+
+    def family(metric: str, kind: str, raw: str):
+        entry = families.get(metric)
+        if entry is None:
+            entry = (kind, raw, [])
+            families[metric] = entry
+        return entry[2]
+
+    for raw, value in snapshot.get("counters", {}).items():
+        base, label, variant = _split_variant(raw)
+        metric = f"{ns}_{_sanitize(base)}"
+        if not metric.endswith("_total"):
+            metric += "_total"
+        labels = [] if label is None else [(label, variant)]
+        family(metric, "counter", base).append((labels, float(value)))
+
+    for raw, value in snapshot.get("gauges", {}).items():
+        base, label, variant = _split_variant(raw)
+        metric = f"{ns}_{_sanitize(base)}"
+        labels = [] if label is None else [(label, variant)]
+        family(metric, "gauge", base).append((labels, float(value)))
+
+    timer_families: Dict[str, Tuple[str, List[Tuple[List[Tuple[str, str]], Mapping]]]] = {}
+    for raw, stats in snapshot.get("timers", {}).items():
+        base, label, variant = _split_variant(raw)
+        metric = f"{ns}_{_sanitize(base)}_seconds"
+        labels = [] if label is None else [(label, variant)]
+        entry = timer_families.setdefault(metric, (base, []))
+        entry[1].append((labels, stats))
+
+    lines: List[str] = []
+    for metric in sorted(families):
+        kind, raw, samples = families[metric]
+        lines.append(f"# HELP {metric} repro registry {kind} '{raw}'")
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in sorted(samples, key=lambda s: s[0]):
+            lines.append(_sample(metric, labels, value))
+
+    for metric in sorted(timer_families):
+        raw, samples = timer_families[metric]
+        lines.append(f"# HELP {metric} repro registry timer '{raw}'")
+        lines.append(f"# TYPE {metric} summary")
+        for labels, stats in sorted(samples, key=lambda s: s[0]):
+            lines.append(
+                _sample(metric, labels + [("quantile", "0.5")], stats.get("p50_s", 0.0))
+            )
+            lines.append(
+                _sample(metric, labels + [("quantile", "0.95")], stats.get("p95_s", 0.0))
+            )
+            lines.append(_sample(f"{metric}_sum", labels, stats.get("total_s", 0.0)))
+            lines.append(_sample(f"{metric}_count", labels, stats.get("count", 0)))
+
+    return "\n".join(lines) + "\n" if lines else ""

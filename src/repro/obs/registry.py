@@ -178,6 +178,45 @@ class MetricsRegistry:
             "timers": {name: self.timer_stats(name).as_dict() for name in timer_names},
         }
 
+    def dump(self) -> Dict[str, Dict]:
+        """Mergeable view: counters, gauges, and **raw** timer observations.
+
+        Unlike :meth:`snapshot`, timers are the raw per-observation
+        lists, so :meth:`merge` on another registry can replay them as
+        real observations (quantiles stay exact).  The result is plain
+        dicts/lists/floats — picklable across the worker process
+        boundary.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": {name: list(values) for name, values in self._timers.items()},
+            }
+
+    def merge(self, dump: Dict[str, Dict]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, gauges take the incoming value (last write wins,
+        as everywhere), timer observations are replayed one by one —
+        this is how worker-process solver metrics reach the service's
+        parent registry.
+        """
+        if not self._enabled:
+            return
+        counters = dump.get("counters", {})
+        gauges = dump.get("gauges", {})
+        timers = dump.get("timers", {})
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + float(value)
+            for name, value in gauges.items():
+                self._gauges[name] = float(value)
+            for name, observations in timers.items():
+                self._timers.setdefault(name, []).extend(
+                    float(s) for s in observations
+                )
+
     def reset(self) -> None:
         """Drop every counter, gauge, and timer observation."""
         with self._lock:

@@ -29,7 +29,9 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+from repro.obs.context import current_request_id
 
 __all__ = [
     "SpanEvent",
@@ -40,6 +42,7 @@ __all__ = [
     "use_tracer",
     "span",
     "events_from_jsonl",
+    "chrome_trace_document",
 ]
 
 
@@ -142,7 +145,16 @@ class Tracer:
         return self._enabled
 
     def span(self, name: str, **attrs: object) -> _Span:
-        """Open a span; use as ``with tracer.span("phase", key=val):``."""
+        """Open a span; use as ``with tracer.span("phase", key=val):``.
+
+        Inside a service request (see :mod:`repro.obs.context`) the
+        current request id is stamped into the span's attributes, so
+        exported traces correlate with access-log lines.
+        """
+        if "request_id" not in attrs:
+            request_id = current_request_id()
+            if request_id is not None:
+                attrs["request_id"] = request_id
         return _Span(self, name, attrs)
 
     def reset(self) -> None:
@@ -159,21 +171,7 @@ class Tracer:
     def to_chrome_trace(self) -> str:
         """Serialise as Chrome ``trace_event`` JSON (complete "X" events,
         microsecond timestamps) for ``chrome://tracing`` / Perfetto."""
-        pid = os.getpid()
-        trace_events = [
-            {
-                "name": e.name,
-                "cat": "repro",
-                "ph": "X",
-                "ts": e.start_s * 1e6,
-                "dur": e.duration_s * 1e6,
-                "pid": pid,
-                "tid": 0,
-                "args": dict(e.attrs),
-            }
-            for e in self.events
-        ]
-        return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
+        return chrome_trace_document(self.events)
 
 
 class NullTracer(Tracer):
@@ -184,6 +182,34 @@ class NullTracer(Tracer):
     def span(self, name: str, **attrs: object) -> _NullSpan:  # type: ignore[override]
         """Return the shared do-nothing span."""
         return _NULL_SPAN
+
+
+def chrome_trace_document(
+    events: Iterable[Union[SpanEvent, Mapping]], pid: Optional[int] = None
+) -> str:
+    """Serialise spans as a Chrome ``trace_event`` JSON document.
+
+    Accepts :class:`SpanEvent` instances or their :meth:`~SpanEvent.as_dict`
+    shapes interchangeably — the latter is what worker processes ship
+    back across the pickle boundary for slow-request trace capture.
+    """
+    pid = os.getpid() if pid is None else pid
+    trace_events = []
+    for event in events:
+        doc = event.as_dict() if isinstance(event, SpanEvent) else dict(event)
+        trace_events.append(
+            {
+                "name": doc["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(doc["start_s"]) * 1e6,
+                "dur": float(doc["duration_s"]) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(doc.get("attrs", {})),
+            }
+        )
+    return json.dumps({"traceEvents": trace_events, "displayTimeUnit": "ms"})
 
 
 def events_from_jsonl(text: str) -> List[SpanEvent]:

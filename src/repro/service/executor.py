@@ -18,7 +18,13 @@ model the HTTP layer can expose:
 * **cancellation** — :meth:`JobExecutor.cancel` revokes queued jobs;
 * **graceful drain** — :meth:`JobExecutor.shutdown` with ``drain=True``
   (what SIGTERM triggers) stops admissions and blocks until in-flight
-  jobs finish; ``drain=False`` additionally cancels queued ones.
+  jobs finish; ``drain=False`` additionally cancels queued ones;
+* **worker-metrics merging** — when a finished solve carries a
+  ``worker_metrics`` registry dump (see :mod:`repro.service.worker`),
+  it is folded into the parent registry as real counter increments and
+  timer observations, so solver-phase costs measured inside worker
+  processes surface in ``GET /metrics``; the ``service.queue.depth``
+  gauge tracks unfinished jobs on every submit/finish.
 
 Jobs carry monotonically increasing ids (``job-000001``, …) and expose
 a JSON-ready :meth:`Job.snapshot` for the polling endpoint.
@@ -32,9 +38,10 @@ import time
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from enum import Enum
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.service.worker import WORKER_METRICS_KEY
 
 __all__ = [
     "Job",
@@ -171,13 +178,30 @@ class JobExecutor:
     def _metrics(self) -> MetricsRegistry:
         return self._registry if self._registry is not None else get_registry()
 
+    def _merge_worker_metrics(self, future: Future) -> None:
+        """Fold a finished solve's worker-side registry dump into the
+        parent registry, so ``/metrics`` reflects solver-phase costs
+        (knapsack/matching/mcmf/gap timers and counters) — worker
+        processes cannot record into the parent directly."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        result = future.result()
+        if not isinstance(result, Mapping):
+            return
+        dump = result.get(WORKER_METRICS_KEY)
+        if isinstance(dump, Mapping):
+            self._metrics().merge(dump)
+
     def _on_finish(self, job: Job) -> Callable[[Future], None]:
-        def callback(_future: Future) -> None:
+        def callback(future: Future) -> None:
             job.finished_at = time.monotonic()
+            self._merge_worker_metrics(future)
             with self._lock:
                 self._active -= 1
+                depth = self._active
                 if job.key is not None and self._by_key.get(job.key) is job:
                     del self._by_key[job.key]
+            self._metrics().set_gauge("service.queue.depth", depth)
 
         return callback
 
@@ -218,7 +242,9 @@ class JobExecutor:
             if key is not None:
                 self._by_key[key] = job
             self._active += 1
+            depth = self._active
             job.future = self._pool.submit(fn, payload)
+        self._metrics().set_gauge("service.queue.depth", depth)
         if on_result is not None:
             job.future.add_done_callback(on_result)
         job.future.add_done_callback(self._on_finish(job))

@@ -70,13 +70,22 @@ class SolveRequest:
         """Content-addressed cache key of this request."""
         return solve_cache_key(self.config.to_dict(), self.algorithm, self.seed)
 
-    def payload(self) -> dict:
-        """Picklable worker payload (plain dicts and scalars only)."""
-        return {
+    def payload(self, trace: bool = False) -> dict:
+        """Picklable worker payload (plain dicts and scalars only).
+
+        ``trace=True`` asks the worker to capture solver span events
+        for slow-request trace persistence (the key is only added when
+        set, so payloads of untraced services are byte-identical to
+        the pre-tracing wire shape).
+        """
+        doc = {
             "scenario": self.config.to_dict(),
             "algorithm": self.algorithm,
             "seed": self.seed,
         }
+        if trace:
+            doc["trace"] = True
+        return doc
 
 
 def parse_solve_request(

@@ -10,8 +10,10 @@ Two layers, separable for testing:
   a ``ThreadingHTTPServer`` speaking JSON over these endpoints:
 
   ========================  ====================================================
-  ``GET  /healthz``         liveness + queue/cache occupancy
-  ``GET  /metrics``         metrics-registry snapshot (counters/gauges/timers)
+  ``GET  /healthz``         liveness + uptime + queue/cache occupancy
+  ``GET  /metrics``         registry snapshot: JSON by default, Prometheus
+                            text 0.0.4 via ``?format=prometheus`` or
+                            ``Accept: text/plain``
   ``GET  /v1/algorithms``   registered algorithms + fixed-power requirements
   ``POST /v1/solve``        synchronous solve (cache → coalesce → worker pool)
   ``POST /v1/jobs``         asynchronous submit; returns a pollable job id
@@ -22,8 +24,15 @@ Two layers, separable for testing:
 Error mapping: schema violations → 400 (typed body from
 :class:`~repro.service.schema.RequestError`), unknown routes/jobs → 404,
 queue saturation → 429, deadline misses → 504, solver failures → 500.
-Every request is timed into ``service.request`` (and solves into
-``service.solve``) on the service's metrics registry.
+
+Request-scoped telemetry: every request runs under a request id
+(generated, or the client's valid ``X-Request-Id``) echoed in the
+response headers; one structured JSON access-log line per request goes
+through :mod:`repro.obs.accesslog`; latency lands in ``service.request``
+/ ``service.solve`` plus per-route ``service.http.<route>`` timers; and
+with ``trace_threshold`` set, slow synchronous solves persist their
+worker-side span trace as Chrome ``trace_event`` JSON under
+``trace_dir``.
 
 :func:`run_server` adds the process lifecycle: SIGTERM/SIGINT stop the
 accept loop, the executor drains in-flight jobs, and the process exits
@@ -35,15 +44,22 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Callable, Optional, Tuple
+from urllib.parse import parse_qs
 
 from repro.obs import get_logger
+from repro.obs.accesslog import log_access
+from repro.obs.context import annotate, current_request_id, request_context
+from repro.obs.promexpo import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.tracing import chrome_trace_document
 from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor, JobState, JobTimeoutError, QueueFullError
 from repro.service.schema import DEFAULT_MAX_SENSORS, RequestError, parse_solve_request
-from repro.service.worker import solve_payload
+from repro.service.worker import TRACE_EVENTS_KEY, WORKER_METRICS_KEY, solve_payload
 from repro.sim.algorithms import ALGORITHMS, requires_fixed_power
 
 __all__ = ["PlanningService", "PlanningServer", "create_server", "run_server"]
@@ -52,6 +68,15 @@ _log = get_logger("service.server")
 
 #: Request bodies beyond this are refused with a 413-style error.
 MAX_BODY_BYTES = 1 << 20
+
+#: Result keys that never leave the process (merged/persisted first).
+_INTERNAL_RESULT_KEYS = (WORKER_METRICS_KEY, TRACE_EVENTS_KEY)
+
+
+def _client_result(result: dict) -> dict:
+    """A copy of a worker result with the internal telemetry keys
+    (registry dump, captured spans) stripped — the client-visible body."""
+    return {k: v for k, v in result.items() if k not in _INTERNAL_RESULT_KEYS}
 
 
 class PlanningService:
@@ -76,6 +101,15 @@ class PlanningService:
         ``None`` adopts the process-global registry if it records, else
         installs a private recording one — either way ``GET /metrics``
         is never empty-by-accident.
+    trace_threshold:
+        Slow-request threshold in seconds.  When set, every solve
+        captures its solver span trace in the worker, and synchronous
+        requests slower than the threshold persist it as Chrome
+        ``trace_event`` JSON under ``trace_dir`` (``0`` traces every
+        request; ``None`` — the default — disables capture entirely).
+    trace_dir:
+        Directory slow-request traces are written to (created on
+        demand; default ``"traces"`` when ``trace_threshold`` is set).
     """
 
     def __init__(
@@ -86,13 +120,24 @@ class PlanningService:
         max_queue: int = 32,
         max_sensors: int = DEFAULT_MAX_SENSORS,
         registry: Optional[MetricsRegistry] = None,
+        trace_threshold: Optional[float] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if registry is None:
             current = get_registry()
             registry = current if current.enabled else MetricsRegistry()
+        if trace_threshold is not None and trace_threshold < 0:
+            raise ValueError(f"trace_threshold must be >= 0, got {trace_threshold}")
         self.registry = registry
         self.request_timeout = request_timeout
         self.max_sensors = max_sensors
+        self.trace_threshold = trace_threshold
+        self.trace_dir = (
+            None
+            if trace_threshold is None
+            else Path(trace_dir if trace_dir is not None else "traces")
+        )
+        self._started = time.monotonic()
         self.cache = ResultCache(cache_size, registry=registry)
         self.executor = JobExecutor(
             workers=workers,
@@ -102,6 +147,11 @@ class PlanningService:
         )
 
     # ------------------------------------------------------------------
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether workers capture span traces for this service."""
+        return self.trace_threshold is not None
+
     def _submit(self, request) -> Tuple[object, bool]:
         """Submit a parsed request, wiring the job's result into the
         cache on completion; returns ``(job, created)``."""
@@ -110,30 +160,64 @@ class PlanningService:
 
         def _store(future) -> None:
             if not future.cancelled() and future.exception() is None:
-                cache.put(key, future.result())
+                cache.put(key, _client_result(future.result()))
 
         return self.executor.submit(
-            solve_payload, request.payload(), key=key, on_result=_store
+            solve_payload,
+            request.payload(trace=self.trace_enabled),
+            key=key,
+            on_result=_store,
         )
+
+    def _persist_trace(self, result: dict, elapsed_s: float) -> Optional[str]:
+        """Write a slow request's captured solver spans as Chrome
+        ``trace_event`` JSON; returns the file path (annotated into the
+        access log as ``trace_path``), or ``None`` when the request was
+        fast enough or carried no spans."""
+        if self.trace_threshold is None or elapsed_s < self.trace_threshold:
+            return None
+        events = result.get(TRACE_EVENTS_KEY)
+        if not events:
+            return None
+        name = current_request_id() or f"solve-{int(time.time() * 1e3):d}"
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        path = self.trace_dir / f"{name}.trace.json"
+        path.write_text(chrome_trace_document(events), encoding="utf-8")
+        annotate("trace_path", str(path))
+        _log.info(
+            "slow request (%.3f s >= %.3f s): trace written to %s",
+            elapsed_s,
+            self.trace_threshold,
+            path,
+        )
+        return str(path)
 
     def solve(self, doc: object) -> dict:
         """Synchronous solve of a decoded JSON body.
 
         Cache hits return immediately (``"cached": true``); otherwise
         the request coalesces onto any identical in-flight job or
-        submits a new one, then waits out ``request_timeout``.
+        submits a new one, then waits out ``request_timeout``.  With
+        slow-request tracing enabled, a solve outlasting
+        ``trace_threshold`` persists its solver span trace.
         """
+        started = time.perf_counter()
         with self.registry.timed("service.request"):
             request = parse_solve_request(doc, max_sensors=self.max_sensors)
             key = request.cache_key()
             cached = self.cache.get(key)
             if cached is not None:
+                annotate("cached", True)
                 return {**cached, "cached": True}
+            annotate("cached", False)
             job, _created = self._submit(request)
+            annotate("job_id", job.id)
             with self.registry.timed("service.solve"):
                 result = self.executor.wait(job, timeout=self.request_timeout)
-            self.cache.put(key, result)
-            return {**result, "cached": False}
+            self._persist_trace(result, time.perf_counter() - started)
+            clean = _client_result(result)
+            self.cache.put(key, clean)
+            return {**clean, "cached": False}
 
     def submit_job(self, doc: object) -> dict:
         """Asynchronous submit of a decoded JSON body.
@@ -148,8 +232,12 @@ class PlanningService:
             cached = self.cache.get(key)
             if cached is not None:
                 job = self.executor.submit_completed(cached, key=key)
+                annotate("cached", True)
+                annotate("job_id", job.id)
                 return {"job_id": job.id, "state": job.state.value, "cached": True}
             job, _created = self._submit(request)
+            annotate("cached", False)
+            annotate("job_id", job.id)
             return {"job_id": job.id, "state": job.state.value, "cached": False}
 
     def job_status(self, job_id: str) -> Optional[dict]:
@@ -158,9 +246,10 @@ class PlanningService:
         job = self.executor.get(job_id)
         if job is None:
             return None
+        annotate("job_id", job_id)
         doc = job.snapshot()
         if job.state is JobState.DONE:
-            doc["result"] = job.result()
+            doc["result"] = _client_result(job.result())
         return doc
 
     def cancel_job(self, job_id: str) -> Optional[dict]:
@@ -182,10 +271,13 @@ class PlanningService:
         }
 
     def health(self) -> dict:
-        """Liveness document with queue and cache occupancy."""
+        """Liveness document: uptime, queue depth/occupancy, cache."""
+        queue = self.executor.stats()
         return {
             "status": "ok",
-            "queue": self.executor.stats(),
+            "uptime_s": time.monotonic() - self._started,
+            "queue_depth": queue["active"],
+            "queue": queue,
             "cache": self.cache.stats(),
         }
 
@@ -193,16 +285,35 @@ class PlanningService:
         """The service registry's snapshot (``GET /metrics`` body)."""
         return self.registry.snapshot()
 
+    def metrics_text(self) -> str:
+        """The snapshot as Prometheus text exposition 0.0.4
+        (``GET /metrics?format=prometheus``)."""
+        return render_prometheus(self.registry.snapshot())
+
     def shutdown(self, drain: bool = True) -> None:
         """Stop admissions; with ``drain`` wait for in-flight jobs."""
         self.executor.shutdown(drain=drain)
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP verbs/paths onto the owning server's service."""
+    """Routes HTTP verbs/paths onto the owning server's service.
+
+    Every request runs inside a :func:`repro.obs.context.request_context`
+    — a generated request id (or the client's valid ``X-Request-Id``)
+    that is echoed as a response header, stamped into spans and log
+    records, and used to correlate the structured access-log line the
+    handler emits after responding.  Per-route latency lands in
+    ``service.http.<route>`` timers, plus the ``service.http.requests``
+    and ``service.http.status[<code>]`` counters.
+    """
 
     server_version = "repro-planning/1.0"
     protocol_version = "HTTP/1.1"
+
+    #: Request id of the in-flight request (set by :meth:`_dispatch`).
+    _request_id: Optional[str] = None
+    #: Status of the last response written (set by the send helpers).
+    _status: Optional[int] = None
 
     # ------------------------------------------------------------------
     @property
@@ -210,15 +321,23 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        _log.info("%s %s", self.address_string(), format % args)
+        _log.debug("%s %s", self.address_string(), format % args)
 
-    def _send_json(self, status: int, doc: dict) -> None:
-        body = json.dumps(doc).encode("utf-8")
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id is not None:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_json(self, status: int, doc: dict) -> None:
+        self._send_body(status, json.dumps(doc).encode("utf-8"), "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
 
     def _read_json(self) -> object:
         length = int(self.headers.get("Content-Length") or 0)
@@ -233,20 +352,44 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise RequestError(f"malformed JSON body: {exc}") from None
 
-    def _dispatch(self, handler) -> None:
-        try:
-            handler()
-        except RequestError as exc:
-            self._send_json(exc.status, exc.to_dict())
-        except QueueFullError as exc:
-            self._send_json(429, {"error": str(exc), "status": 429})
-        except JobTimeoutError as exc:
-            self._send_json(504, {"error": str(exc), "status": 504})
-        except BrokenPipeError:  # client went away mid-response
-            pass
-        except Exception as exc:  # pragma: no cover - defensive 500
-            _log.exception("internal error serving %s %s", self.command, self.path)
-            self._send_json(500, {"error": f"internal error: {exc}", "status": 500})
+    def _dispatch(self, route: str, handler: Callable[[], None]) -> None:
+        registry = self.service.registry
+        started = time.perf_counter()
+        with request_context(self.headers.get("X-Request-Id")) as ctx:
+            self._request_id = ctx.request_id
+            self._status = None
+            try:
+                try:
+                    handler()
+                except RequestError as exc:
+                    self._send_json(exc.status, exc.to_dict())
+                except QueueFullError as exc:
+                    self._send_json(429, {"error": str(exc), "status": 429})
+                except JobTimeoutError as exc:
+                    self._send_json(504, {"error": str(exc), "status": 504})
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+                except Exception as exc:  # pragma: no cover - defensive 500
+                    _log.exception(
+                        "internal error serving %s %s", self.command, self.path
+                    )
+                    self._send_json(
+                        500, {"error": f"internal error: {exc}", "status": 500}
+                    )
+            finally:
+                elapsed = time.perf_counter() - started
+                registry.observe(f"service.http.{route}", elapsed)
+                registry.inc("service.http.requests")
+                if self._status is not None:
+                    registry.inc(f"service.http.status[{self._status}]")
+                log_access(
+                    method=self.command,
+                    path=self.path,
+                    status=self._status,
+                    duration_ms=elapsed * 1e3,
+                    request_id=ctx.request_id,
+                    **ctx.annotations,
+                )
 
     def _not_found(self) -> None:
         self._send_json(
@@ -254,16 +397,31 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     # ------------------------------------------------------------------
+    def _handle_metrics(self, query: str) -> None:
+        """``GET /metrics`` with content negotiation: JSON by default,
+        Prometheus text exposition via ``?format=prometheus`` or an
+        ``Accept`` header preferring ``text/plain``."""
+        fmt = parse_qs(query).get("format", [""])[0].lower()
+        accept = self.headers.get("Accept", "")
+        if fmt == "prometheus" or (not fmt and "text/plain" in accept):
+            self._send_text(200, self.service.metrics_text(), PROMETHEUS_CONTENT_TYPE)
+        else:
+            self._send_json(200, self.service.metrics())
+
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        def handle() -> None:
-            if self.path == "/healthz":
-                self._send_json(200, self.service.health())
-            elif self.path == "/metrics":
-                self._send_json(200, self.service.metrics())
-            elif self.path == "/v1/algorithms":
-                self._send_json(200, self.service.algorithms())
-            elif self.path.startswith("/v1/jobs/"):
-                job_id = self.path[len("/v1/jobs/") :]
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._dispatch("healthz", lambda: self._send_json(200, self.service.health()))
+        elif path == "/metrics":
+            self._dispatch("metrics", lambda: self._handle_metrics(query))
+        elif path == "/v1/algorithms":
+            self._dispatch(
+                "algorithms", lambda: self._send_json(200, self.service.algorithms())
+            )
+        elif path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/") :]
+
+            def handle() -> None:
                 doc = self.service.job_status(job_id)
                 if doc is None:
                     self._send_json(
@@ -271,26 +429,32 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._send_json(200, doc)
-            else:
-                self._not_found()
 
-        self._dispatch(handle)
+            self._dispatch("jobs.status", handle)
+        else:
+            self._dispatch("unmatched", self._not_found)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        def handle() -> None:
-            if self.path == "/v1/solve":
-                self._send_json(200, self.service.solve(self._read_json()))
-            elif self.path == "/v1/jobs":
-                self._send_json(202, self.service.submit_job(self._read_json()))
-            else:
-                self._not_found()
-
-        self._dispatch(handle)
+        path, _, _query = self.path.partition("?")
+        if path == "/v1/solve":
+            self._dispatch(
+                "solve",
+                lambda: self._send_json(200, self.service.solve(self._read_json())),
+            )
+        elif path == "/v1/jobs":
+            self._dispatch(
+                "jobs.submit",
+                lambda: self._send_json(202, self.service.submit_job(self._read_json())),
+            )
+        else:
+            self._dispatch("unmatched", self._not_found)
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server naming
-        def handle() -> None:
-            if self.path.startswith("/v1/jobs/"):
-                job_id = self.path[len("/v1/jobs/") :]
+        path, _, _query = self.path.partition("?")
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/") :]
+
+            def handle() -> None:
                 doc = self.service.cancel_job(job_id)
                 if doc is None:
                     self._send_json(
@@ -298,10 +462,10 @@ class _Handler(BaseHTTPRequestHandler):
                     )
                 else:
                     self._send_json(200, doc)
-            else:
-                self._not_found()
 
-        self._dispatch(handle)
+            self._dispatch("jobs.cancel", handle)
+        else:
+            self._dispatch("unmatched", self._not_found)
 
 
 class PlanningServer(ThreadingHTTPServer):

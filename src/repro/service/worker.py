@@ -9,20 +9,39 @@ computes the LP upper bound, runs the requested algorithm with
 ``mutate=False`` (solves are pure; this is what makes results
 cacheable), and flattens everything into the JSON response body.
 
-Worker processes carry their own (null) metrics registry, so per-solve
-phase timings come back in the result's ``profile`` dict rather than
-through the parent's registry; the parent-side ``service.*`` timers
-wrap the round trip instead.
+Worker processes have their own process-global registry, so the solve
+runs under a **local recording registry** whose :meth:`~repro.obs.registry.MetricsRegistry.dump`
+travels back in the result under :data:`WORKER_METRICS_KEY`; the
+executor folds it into the parent's service registry (real timer
+observations, not summaries), which is how ``GET /metrics`` sees
+solver-phase costs (``knapsack.solve``, ``mcmf.solve``, ``gap.*`` …)
+under load.  When the payload carries ``"trace": true`` the solve also
+runs under a recording :class:`~repro.obs.tracing.Tracer` and the span
+events come back under :data:`TRACE_EVENTS_KEY` for slow-request trace
+capture.  Both keys are internal: the server strips them from
+client-visible response bodies.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
+
 from repro.core.lp import dcmp_lp_upper_bound
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.algorithms import get_algorithm
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
 
-__all__ = ["solve_payload"]
+__all__ = ["solve_payload", "WORKER_METRICS_KEY", "TRACE_EVENTS_KEY"]
+
+#: Result key carrying the worker registry dump (internal; stripped
+#: from client responses after the executor merges it).
+WORKER_METRICS_KEY = "worker_metrics"
+
+#: Result key carrying captured span events (internal; stripped from
+#: client responses after slow-request trace persistence).
+TRACE_EVENTS_KEY = "trace_events"
 
 
 def solve_payload(payload: dict) -> dict:
@@ -30,20 +49,28 @@ def solve_payload(payload: dict) -> dict:
 
     ``payload`` is the :meth:`~repro.service.schema.SolveRequest.payload`
     shape: ``{"scenario": <config dict>, "algorithm": <canonical name>,
-    "seed": <int | None>}`` — already validated, so errors here are
-    genuine solver failures (surfaced as 500s), not client mistakes.
+    "seed": <int | None>, "trace"?: bool}`` — already validated, so
+    errors here are genuine solver failures (surfaced as 500s), not
+    client mistakes.
     """
     config = ScenarioConfig.from_dict(payload["scenario"])
     algorithm = payload["algorithm"]
     seed = payload.get("seed")
+    capture_trace = bool(payload.get("trace"))
 
-    scenario = config.build(seed=seed)
-    instance = scenario.instance()
-    lp_bound_bits = float(dcmp_lp_upper_bound(instance))
-    result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
+    registry = MetricsRegistry()
+    tracer = Tracer() if capture_trace else None
+    with ExitStack() as stack:
+        stack.enter_context(use_registry(registry))
+        if tracer is not None:
+            stack.enter_context(use_tracer(tracer))
+        scenario = config.build(seed=seed)
+        instance = scenario.instance()
+        lp_bound_bits = float(dcmp_lp_upper_bound(instance))
+        result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
 
     messages = result.messages.summary() if result.messages is not None else None
-    return {
+    doc = {
         "algorithm": algorithm,
         "seed": seed,
         "scenario": config.to_dict(),
@@ -59,4 +86,8 @@ def solve_payload(payload: dict) -> dict:
         "total_energy_spent_j": float(result.total_energy_spent),
         "messages": messages,
         "profile": {k: float(v) for k, v in result.profile.items()},
+        WORKER_METRICS_KEY: registry.dump(),
     }
+    if tracer is not None:
+        doc[TRACE_EVENTS_KEY] = [event.as_dict() for event in tracer.events]
+    return doc

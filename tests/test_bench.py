@@ -1,0 +1,105 @@
+"""Core benchmark: document shape, determinism knobs, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser
+from repro.experiments.bench import (
+    BENCH_FORMAT,
+    BENCH_VERSION,
+    FULL_GRID,
+    QUICK_GRID,
+    render_bench,
+    run_bench,
+)
+
+#: One tiny cell and two cheap algorithms — keeps the test in the tier-1 budget.
+TINY_GRID = ((12, 1500.0),)
+TINY_ALGOS = ("Baseline[greedy_profit]", "Offline_Appro")
+
+
+@pytest.fixture(scope="module")
+def tiny_doc():
+    return run_bench(quick=True, seed=3, grid=TINY_GRID, algorithms=TINY_ALGOS)
+
+
+def test_document_shape(tiny_doc):
+    assert tiny_doc["format"] == BENCH_FORMAT
+    assert tiny_doc["version"] == BENCH_VERSION
+    assert tiny_doc["quick"] is True
+    assert tiny_doc["seed"] == 3
+    assert len(tiny_doc["entries"]) == len(TINY_GRID) * len(TINY_ALGOS)
+    entry = tiny_doc["entries"][0]
+    assert entry["algorithm"] == TINY_ALGOS[0]
+    assert entry["num_sensors"] == 12
+    assert entry["wall_s"] > 0
+    assert entry["collected_megabits"] > 0
+    assert "solve_s" in entry["profile"]
+
+
+def test_entries_carry_solver_counters(tiny_doc):
+    by_algo = {e["algorithm"]: e for e in tiny_doc["entries"]}
+    appro = by_algo["Offline_Appro"]
+    assert appro["counters"].get("knapsack.calls", 0) > 0
+    assert appro["timers"]["tour.solve"]["count"] >= 1
+
+
+def test_document_is_json_serialisable(tiny_doc):
+    assert json.loads(json.dumps(tiny_doc)) == tiny_doc
+
+
+def test_maxmatch_cells_pin_fixed_power():
+    doc = run_bench(
+        quick=True, seed=3, grid=TINY_GRID, algorithms=("Offline_MaxMatch",)
+    )
+    [entry] = doc["entries"]
+    assert entry["fixed_power"] == 0.3
+    assert entry["collected_megabits"] > 0
+
+
+def test_render_bench_lists_every_entry(tiny_doc):
+    text = render_bench(tiny_doc)
+    lines = text.splitlines()
+    assert len(lines) == 1 + len(tiny_doc["entries"])
+    for entry in tiny_doc["entries"]:
+        assert any(entry["algorithm"] in line for line in lines[1:])
+
+
+def test_grids_are_distinct():
+    assert QUICK_GRID != FULL_GRID
+    assert all(n <= 60 for n, _ in QUICK_GRID)
+
+
+def test_cli_accepts_bench_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(
+        ["bench", "--quick", "--seed", "11", "--json", str(tmp_path / "b.json")]
+    )
+    assert args.command == "bench"
+    assert args.quick is True
+    assert args.seed == 11
+    args = parser.parse_args(["bench"])
+    assert args.quick is False and args.json is None
+
+
+def test_cli_accepts_new_serve_flags(tmp_path):
+    parser = build_parser()
+    args = parser.parse_args(
+        [
+            "serve",
+            "--trace-threshold",
+            "0.5",
+            "--trace-dir",
+            str(tmp_path),
+            "--access-log",
+            str(tmp_path / "access.log"),
+        ]
+    )
+    assert args.trace_threshold == 0.5
+    assert args.trace_dir == str(tmp_path)
+    assert args.access_log == str(tmp_path / "access.log")
+    args = parser.parse_args(["serve"])
+    assert args.trace_threshold is None

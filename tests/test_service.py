@@ -10,6 +10,7 @@ work.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import signal
@@ -24,7 +25,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, configure_access_log
+from repro.obs.promexpo import PROMETHEUS_CONTENT_TYPE
 from repro.service import (
     JobExecutor,
     JobState,
@@ -61,6 +63,22 @@ def _request(port, path, method="GET", doc=None, raw=None, timeout=120):
 
 def _solve_body(scenario=SMALL, algorithm="Offline_Appro", seed=7):
     return {"scenario": dict(scenario), "algorithm": algorithm, "seed": seed}
+
+
+def _raw_request(port, path, method="GET", doc=None, headers=None, timeout=120):
+    """Like :func:`_request` but returns (status, headers, raw body bytes)."""
+    data = json.dumps(doc).encode("utf-8") if doc is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        method=method,
+        headers=dict(headers or {}),
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, err.read()
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +440,194 @@ class TestShutdown:
                 proc.communicate()
         assert proc.returncode == 0, out
         assert "shut down cleanly (in-flight jobs drained)" in out
+
+
+def _wait_for_log_lines(stream, needle, timeout=10.0):
+    """Access lines are written after the response is sent — poll briefly."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        lines = [l for l in stream.getvalue().splitlines() if needle in l]
+        if lines:
+            return lines
+        time.sleep(0.02)
+    return [l for l in stream.getvalue().splitlines() if needle in l]
+
+
+class TestTelemetry:
+    """Request IDs, access logs, Prometheus exposition, merged metrics."""
+
+    def test_every_response_carries_a_request_id(self, served):
+        port, _ = served
+        status, headers, _ = _raw_request(port, "/healthz")
+        assert status == 200
+        rid = headers["X-Request-Id"]
+        assert rid and len(rid) == 32
+        # Errors carry one too.
+        status, headers, _ = _raw_request(port, "/nope")
+        assert status == 404
+        assert headers["X-Request-Id"]
+
+    def test_inbound_request_id_echoed_and_in_access_log(self, served):
+        port, _ = served
+        stream = io.StringIO()
+        configure_access_log(stream=stream)
+        try:
+            status, headers, body = _raw_request(
+                port,
+                "/v1/solve",
+                "POST",
+                _solve_body(seed=71),
+                headers={"X-Request-Id": "test-rid-71"},
+            )
+        finally:
+            lines = _wait_for_log_lines(stream, "test-rid-71")
+            configure_access_log(stream=io.StringIO())
+        assert status == 200
+        assert headers["X-Request-Id"] == "test-rid-71"
+        entries = [json.loads(line) for line in lines]
+        [entry] = [e for e in entries if e["request_id"] == "test-rid-71"]
+        assert entry["method"] == "POST"
+        assert entry["path"] == "/v1/solve"
+        assert entry["status"] == 200
+        assert entry["duration_ms"] > 0
+        assert entry["cached"] in (True, False)
+        if not entry["cached"]:
+            assert entry["job_id"].startswith("job-")
+
+    def test_suspicious_inbound_request_id_is_replaced(self, served):
+        port, _ = served
+        status, headers, _ = _raw_request(
+            port, "/healthz", headers={"X-Request-Id": "bad id\twith spaces"}
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] != "bad id\twith spaces"
+        assert len(headers["X-Request-Id"]) == 32
+
+    def test_prometheus_round_trip_after_solve(self, served):
+        port, _ = served
+        assert _request(port, "/v1/solve", "POST", _solve_body(seed=72))[0] == 200
+        status, headers, body = _raw_request(port, "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = body.decode("utf-8")
+        assert "repro_knapsack_solve_seconds" in text
+        assert "repro_service_http_requests_total" in text
+        assert "repro_service_queue_depth" in text
+        assert "# TYPE repro_knapsack_solve_seconds summary" in text
+        # Internal merge bookkeeping must not leak odd sample lines.
+        for line in text.splitlines():
+            assert line.startswith(("#", "repro_")), line
+
+    def test_metrics_accept_header_negotiation(self, served):
+        port, _ = served
+        status, headers, body = _raw_request(
+            port, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        # Default (no Accept preference) stays JSON — the pre-PR contract.
+        status, headers, body = _raw_request(port, "/metrics")
+        assert headers["Content-Type"].startswith("application/json")
+        assert set(json.loads(body)) == {"counters", "gauges", "timers"}
+        # Explicit ?format=json under a text Accept still yields JSON.
+        status, headers, _ = _raw_request(
+            port, "/metrics?format=json", headers={"Accept": "text/plain"}
+        )
+        assert headers["Content-Type"].startswith("application/json")
+
+    def test_worker_solver_metrics_merged_into_parent(self, served):
+        port, service = served
+        assert _request(port, "/v1/solve", "POST", _solve_body(seed=73))[0] == 200
+        status, doc = _request(port, "/metrics")
+        assert status == 200
+        assert doc["counters"]["knapsack.calls"] > 0
+        assert doc["timers"]["knapsack.solve"]["count"] > 0
+        assert service.registry.timer_stats("tour.total").count > 0
+
+    def test_per_endpoint_timers_and_status_counters(self, served):
+        port, service = served
+        assert _request(port, "/healthz")[0] == 200
+        registry = service.registry
+        assert registry.timer_stats("service.http.healthz").count >= 1
+        assert registry.timer_stats("service.http.solve").count >= 1
+        assert registry.counter("service.http.requests") >= 2
+        assert registry.counter("service.http.status[200]") >= 2
+        assert registry.counter("service.http.status[404]") >= 1
+
+    def test_healthz_reports_uptime_and_queue_depth(self, served):
+        port, service = served
+        status, doc = _request(port, "/healthz")
+        assert status == 200
+        assert doc["uptime_s"] >= 0.0
+        assert doc["queue_depth"] == doc["queue"]["active"]
+        # All solves above have drained by now; the gauge tracks that.
+        assert service.registry.gauge("service.queue.depth") == 0.0
+
+    def test_solve_response_has_no_internal_keys(self, served):
+        port, _ = served
+        status, doc = _request(port, "/v1/solve", "POST", _solve_body(seed=74))
+        assert status == 200
+        assert "worker_metrics" not in doc
+        assert "trace_events" not in doc
+
+
+class TestTraceCapture:
+    @pytest.fixture()
+    def traced_server(self, tmp_path):
+        """A server persisting a trace for *every* request (threshold 0)."""
+        registry = MetricsRegistry()
+        service = PlanningService(
+            workers=1,
+            cache_size=8,
+            request_timeout=120.0,
+            registry=registry,
+            trace_threshold=0.0,
+            trace_dir=str(tmp_path / "traces"),
+        )
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server.server_address[1], service, tmp_path / "traces"
+        server.shutdown()
+        service.shutdown()
+        thread.join(timeout=10)
+
+    def test_slow_request_writes_chrome_trace(self, traced_server):
+        port, service, trace_dir = traced_server
+        stream = io.StringIO()
+        configure_access_log(stream=stream)
+        try:
+            status, headers, body = _raw_request(
+                port,
+                "/v1/solve",
+                "POST",
+                _solve_body(seed=81),
+                headers={"X-Request-Id": "traced-81"},
+            )
+        finally:
+            lines = _wait_for_log_lines(stream, "traced-81")
+            configure_access_log(stream=io.StringIO())
+        assert status == 200
+        trace_path = trace_dir / "traced-81.trace.json"
+        assert trace_path.exists()
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"tour", "tour.solve"} <= {e["name"] for e in events}
+        # The access-log line points at the persisted trace.
+        [entry] = [json.loads(l) for l in lines if "traced-81" in l]
+        assert entry["trace_path"] == str(trace_path)
+        # Client body still clean of internal keys.
+        assert "trace_events" not in json.loads(body)
+
+    def test_cached_solve_does_not_rewrite_trace(self, traced_server):
+        port, service, trace_dir = traced_server
+        body = _solve_body(seed=82)
+        assert _request(port, "/v1/solve", "POST", body)[0] == 200
+        before = set(trace_dir.iterdir())
+        status, doc = _request(port, "/v1/solve", "POST", body)
+        assert status == 200 and doc["cached"] is True
+        assert set(trace_dir.iterdir()) == before
 
 
 class TestSchema:
