@@ -20,7 +20,11 @@ The package provides:
   paper's evaluation (:mod:`repro.sim`, :mod:`repro.experiments`);
 * an instrumentation layer — run-metrics registry, solver-phase
   tracing, logging, JSON profile reports — off and near-free by
-  default (:mod:`repro.obs`; ``python -m repro profile``).
+  default (:mod:`repro.obs`; ``python -m repro profile``);
+* a verification subsystem — solution certificates with named
+  constraint checks and optimality bounds, a differential fuzzer with
+  greedy shrinking, and a replayable failure corpus
+  (:mod:`repro.verify`; ``python -m repro verify`` / ``fuzz``).
 
 Quickstart
 ----------
@@ -63,6 +67,7 @@ from repro.sim import (
     run_tour,
     simulate_tours,
 )
+from repro.verify import Certificate, certify
 
 __version__ = "1.0.0"
 
@@ -99,4 +104,7 @@ __all__ = [
     "get_algorithm",
     "TourResult",
     "SimulationResult",
+    # verification
+    "Certificate",
+    "certify",
 ]

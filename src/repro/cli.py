@@ -36,6 +36,20 @@ Subcommands:
 
       python -m repro bench --quick --json BENCH_core.json
 
+* ``verify`` — certify one algorithm's solution on one topology
+  (constraints (1)-(4) with slack values, LP bound, ratio guarantee),
+  or replay a fuzz-corpus file; exits 1 on a failed certificate::
+
+      python -m repro verify --sensors 100 --algo Offline_Appro
+      python -m repro verify --corpus-file tests/data/corpus/foo.json
+
+* ``fuzz`` — differential fuzzing of all registered algorithms on
+  random instances, with greedy shrinking and corpus persistence;
+  exits 1 when a failure is found::
+
+      python -m repro fuzz --runs 50 --seed 0
+      python -m repro fuzz --runs 200 --corpus-dir tests/data/corpus
+
 The global ``-v/--verbose`` flag (repeatable) raises the ``repro``
 logger hierarchy from WARNING to INFO (``-v``) or DEBUG (``-vv``).
 """
@@ -202,6 +216,64 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="append JSON access-log lines to this file (default: stderr)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="certify one solution (constraints, LP bound, ratio guarantee)",
+    )
+    _add_scenario_args(verify)
+    verify.add_argument(
+        "--algo",
+        type=str,
+        default="Offline_Appro",
+        help="registered algorithm name to run and certify "
+        "(default: Offline_Appro; lowercase aliases accepted)",
+    )
+    verify.add_argument(
+        "--corpus-file",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="instead of building a scenario, replay this fuzz-corpus "
+        "JSON file through the full differential check",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the certificate (or replay findings) as JSON",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with shrinking and corpus persistence",
+    )
+    fuzz.add_argument("--runs", type=int, default=50, help="random instances to check")
+    fuzz.add_argument("--seed", type=int, default=0, help="root seed (runs derive from it)")
+    fuzz.add_argument(
+        "--max-slots", type=int, default=12, help="max horizon T of drawn instances"
+    )
+    fuzz.add_argument(
+        "--max-sensors", type=int, default=5, help="max sensor count n of drawn instances"
+    )
+    fuzz.add_argument(
+        "--corpus-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="persist shrunk failures as canonical JSON under this directory "
+        "(commit them to tests/data/corpus to turn them into regression tests)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep failures at their original size (skip greedy shrinking)",
+    )
+    fuzz.add_argument(
+        "--max-failures",
+        type=int,
+        default=10,
+        help="stop the campaign after this many failures",
     )
 
     bench = sub.add_parser(
@@ -445,6 +517,83 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_verify(args: argparse.Namespace) -> int:
+    import json
+
+    if args.corpus_file:
+        from repro.verify.corpus import load_corpus_file, replay_file
+
+        doc = load_corpus_file(args.corpus_file)
+        findings = replay_file(args.corpus_file)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "corpus_file": args.corpus_file,
+                        "kind": doc["kind"],
+                        "algorithm": doc["algorithm"],
+                        "check": doc["check"],
+                        "findings": [
+                            {
+                                "kind": f.kind,
+                                "algorithm": f.algorithm,
+                                "check": f.check,
+                                "detail": f.detail,
+                            }
+                            for f in findings
+                        ],
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"corpus file {args.corpus_file}: recorded "
+                f"{doc['kind']}/{doc['algorithm']}/{doc['check']}"
+            )
+            if findings:
+                for f in findings:
+                    print(f"  STILL FAILING [{f.kind}] {f.algorithm}/{f.check}: {f.detail}")
+            else:
+                print("  replay clean: the historical failure stays fixed")
+        return 1 if findings else 0
+
+    from repro.verify.certificate import render_certificate
+    from repro.sim.algorithms import get_algorithm
+    from repro.sim.simulator import run_tour
+
+    algo_name = _resolve_algorithm_name(args.algo)
+    if "MaxMatch" in algo_name and args.fixed_power is None:
+        raise SystemExit(
+            f"{algo_name} is the fixed-power special case; pass --fixed-power "
+            "(the paper uses 0.3)"
+        )
+    scenario = _build_scenario(args)
+    result = run_tour(scenario, get_algorithm(algo_name), mutate=False, certify=True)
+    certificate = result.certificate
+    if args.json:
+        print(certificate.to_json(indent=2))
+    else:
+        print(render_certificate(certificate))
+    return 0 if certificate.passed else 1
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    report = run_fuzz(
+        runs=args.runs,
+        seed=args.seed,
+        max_slots=args.max_slots,
+        max_sensors=args.max_sensors,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        max_failures=args.max_failures,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -479,6 +628,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "verify":
+        return _run_verify(args)
+    if args.command == "fuzz":
+        return _run_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

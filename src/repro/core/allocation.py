@@ -60,10 +60,14 @@ class Allocation:
         for sensor, slots in sensor_slots.items():
             for j in slots:
                 if not 0 <= j < num_slots:
-                    raise ValueError(f"slot {j} outside [0, {num_slots - 1}]")
+                    raise ValueError(
+                        f"sensor {sensor}: slot {j} outside [0, {num_slots - 1}] "
+                        f"(allocation horizon T={num_slots})"
+                    )
                 if owner[j] != UNASSIGNED:
                     raise ValueError(
-                        f"slot {j} assigned to both sensor {owner[j]} and {sensor}"
+                        f"slot {j} assigned to both sensor {owner[j]} and {sensor} "
+                        f"(constraint (3) allows one sensor per slot; T={num_slots})"
                     )
                 owner[j] = sensor
         return cls(owner)
@@ -174,15 +178,26 @@ class Allocation:
             budget = instance.budget_of(i)
             if spent[i] > budget + _BUDGET_EPS:
                 problems.append(
-                    f"sensor {i}: energy {spent[i]:.9f} J exceeds budget {budget:.9f} J"
+                    f"sensor {i}: energy {spent[i]:.9f} J exceeds budget "
+                    f"{budget:.9f} J by {spent[i] - budget:.3e} J"
                 )
         return problems
 
     def check_feasible(self, instance: DataCollectionInstance) -> None:
-        """Raise ``ValueError`` with the violation list if infeasible."""
+        """Raise ``ValueError`` with the violation list if infeasible.
+
+        The message names the instance shape (``n``, ``T``) and, for
+        budget violations, the offending sensor's budget vs. spend —
+        enough context to reproduce the failure without the instance in
+        hand.  For failures *as data* (no exception), see
+        :func:`repro.verify.certificate.certify`.
+        """
         problems = self.violations(instance)
         if problems:
-            raise ValueError("infeasible allocation:\n  " + "\n  ".join(problems))
+            raise ValueError(
+                f"infeasible allocation (n={instance.num_sensors} sensors, "
+                f"T={instance.num_slots} slots):\n  " + "\n  ".join(problems)
+            )
 
     def is_feasible(self, instance: DataCollectionInstance) -> bool:
         """True when all constraints hold."""

@@ -24,19 +24,28 @@ from repro.obs.registry import MetricsRegistry, get_registry
 __all__ = ["ResultCache", "solve_cache_key"]
 
 
-def solve_cache_key(scenario: Mapping, algorithm: str, seed: Optional[int]) -> str:
+def solve_cache_key(
+    scenario: Mapping,
+    algorithm: str,
+    seed: Optional[int],
+    certify: bool = False,
+) -> str:
     """Canonical content hash of one solve request.
 
     The scenario dict is serialised with sorted keys and compact
     separators, so two requests that describe the same configuration —
-    regardless of field order — hash identically.  Returns a hex
-    SHA-256 digest.
+    regardless of field order — hash identically.  Certified solves
+    hash differently from plain ones (their response bodies differ),
+    but ``certify=False`` keeps the historical hash so existing caches
+    stay warm.  Returns a hex SHA-256 digest.
     """
     document = {
         "scenario": dict(scenario),
         "algorithm": algorithm,
         "seed": seed,
     }
+    if certify:
+        document["certify"] = True
     blob = json.dumps(document, sort_keys=True, separators=(",", ":"), default=float)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

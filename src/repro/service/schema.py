@@ -31,7 +31,7 @@ from repro.sim.scenario import ScenarioConfig
 __all__ = ["RequestError", "SolveRequest", "parse_solve_request"]
 
 #: Top-level request fields the schema understands.
-_REQUEST_FIELDS = ("scenario", "algorithm", "seed")
+_REQUEST_FIELDS = ("scenario", "algorithm", "seed", "certify")
 
 #: Service-side guard against absurd problem sizes (a 400, not a crash).
 DEFAULT_MAX_SENSORS = 20_000
@@ -60,23 +60,28 @@ class RequestError(Exception):
 
 @dataclass(frozen=True)
 class SolveRequest:
-    """One validated solve: config + canonical algorithm + seed."""
+    """One validated solve: config + canonical algorithm + seed, plus
+    the opt-in ``certify`` flag (solution certificate in the response)."""
 
     config: ScenarioConfig
     algorithm: str
     seed: Optional[int] = None
+    certify: bool = False
 
     def cache_key(self) -> str:
-        """Content-addressed cache key of this request."""
-        return solve_cache_key(self.config.to_dict(), self.algorithm, self.seed)
+        """Content-addressed cache key of this request (certified and
+        plain solves of the same scenario hash differently)."""
+        return solve_cache_key(
+            self.config.to_dict(), self.algorithm, self.seed, certify=self.certify
+        )
 
     def payload(self, trace: bool = False) -> dict:
         """Picklable worker payload (plain dicts and scalars only).
 
         ``trace=True`` asks the worker to capture solver span events
-        for slow-request trace persistence (the key is only added when
-        set, so payloads of untraced services are byte-identical to
-        the pre-tracing wire shape).
+        for slow-request trace persistence; like ``certify``, the key
+        is only added when set, so payloads of plain requests are
+        byte-identical to the historical wire shape.
         """
         doc = {
             "scenario": self.config.to_dict(),
@@ -85,6 +90,8 @@ class SolveRequest:
         }
         if trace:
             doc["trace"] = True
+        if self.certify:
+            doc["certify"] = True
         return doc
 
 
@@ -97,9 +104,10 @@ def parse_solve_request(
     Raises :class:`RequestError` (status 400) on: a non-object body,
     unknown top-level fields, an invalid scenario (unknown field, wrong
     type, out-of-range value — per ``ScenarioConfig.from_dict``),
-    ``num_sensors`` beyond ``max_sensors``, a non-integer seed, an
-    unknown algorithm (message lists the sorted choices), or a
-    MaxMatch-family algorithm without ``scenario.fixed_power``.
+    ``num_sensors`` beyond ``max_sensors``, a non-integer seed, a
+    non-boolean ``certify`` flag, an unknown algorithm (message lists
+    the sorted choices), or a MaxMatch-family algorithm without
+    ``scenario.fixed_power``.
     """
     if not isinstance(doc, Mapping):
         raise RequestError(
@@ -136,6 +144,12 @@ def parse_solve_request(
             f"seed must be an integer or null, got {seed!r}", field="seed"
         )
 
+    certify = doc.get("certify", False)
+    if not isinstance(certify, bool):
+        raise RequestError(
+            f"certify must be a boolean, got {certify!r}", field="certify"
+        )
+
     algorithm = doc.get("algorithm", "Offline_Appro")
     if not isinstance(algorithm, str):
         raise RequestError(
@@ -152,4 +166,4 @@ def parse_solve_request(
             field="scenario",
         )
 
-    return SolveRequest(config=config, algorithm=algorithm, seed=seed)
+    return SolveRequest(config=config, algorithm=algorithm, seed=seed, certify=certify)

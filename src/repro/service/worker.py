@@ -32,6 +32,7 @@ from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.algorithms import get_algorithm
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
+from repro.verify.certificate import certify
 
 __all__ = ["solve_payload", "WORKER_METRICS_KEY", "TRACE_EVENTS_KEY"]
 
@@ -49,17 +50,23 @@ def solve_payload(payload: dict) -> dict:
 
     ``payload`` is the :meth:`~repro.service.schema.SolveRequest.payload`
     shape: ``{"scenario": <config dict>, "algorithm": <canonical name>,
-    "seed": <int | None>, "trace"?: bool}`` — already validated, so
-    errors here are genuine solver failures (surfaced as 500s), not
-    client mistakes.
+    "seed": <int | None>, "trace"?: bool, "certify"?: bool}`` — already
+    validated, so errors here are genuine solver failures (surfaced as
+    500s), not client mistakes.  With ``"certify": true`` the response
+    carries a full solution certificate (constraints (1)-(4) with slack
+    values, LP bound, ratio guarantee) under ``"certificate"``; the
+    already-computed LP bound is reused, so certification adds one
+    constraint sweep, not a second LP solve.
     """
     config = ScenarioConfig.from_dict(payload["scenario"])
     algorithm = payload["algorithm"]
     seed = payload.get("seed")
     capture_trace = bool(payload.get("trace"))
+    want_certificate = bool(payload.get("certify"))
 
     registry = MetricsRegistry()
     tracer = Tracer() if capture_trace else None
+    certificate = None
     with ExitStack() as stack:
         stack.enter_context(use_registry(registry))
         if tracer is not None:
@@ -68,6 +75,13 @@ def solve_payload(payload: dict) -> dict:
         instance = scenario.instance()
         lp_bound_bits = float(dcmp_lp_upper_bound(instance))
         result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
+        if want_certificate:
+            certificate = certify(
+                instance,
+                result.allocation,
+                algorithm=algorithm,
+                lp_bound_bits=lp_bound_bits,
+            )
 
     messages = result.messages.summary() if result.messages is not None else None
     doc = {
@@ -88,6 +102,8 @@ def solve_payload(payload: dict) -> dict:
         "profile": {k: float(v) for k, v in result.profile.items()},
         WORKER_METRICS_KEY: registry.dump(),
     }
+    if certificate is not None:
+        doc["certificate"] = certificate.to_dict()
     if tracer is not None:
         doc[TRACE_EVENTS_KEY] = [event.as_dict() for event in tracer.events]
     return doc

@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.online.messages import MessageLog
 from repro.units import bits_to_megabits
+from repro.verify.certificate import Certificate
 
 __all__ = ["TourResult", "SimulationResult"]
 
@@ -42,8 +43,12 @@ class TourResult:
     profile:
         Per-phase wall-clock breakdown of the tour in seconds
         (``instance_build_s`` / ``solve_s`` / ``verify_s`` /
-        ``energy_update_s`` / ``total_s``); empty for hand-built
-        results.
+        ``energy_update_s`` / ``total_s``, plus ``certify_s`` when
+        certification ran); empty for hand-built results.
+    certificate:
+        Structured correctness evidence from
+        :func:`repro.verify.certificate.certify` when the tour ran with
+        ``certify=True``; ``None`` otherwise.
     """
 
     tour_index: int
@@ -56,6 +61,7 @@ class TourResult:
     messages: Optional[MessageLog] = None
     wall_time: float = 0.0
     profile: Dict[str, float] = field(default_factory=dict)
+    certificate: Optional[Certificate] = None
 
     @property
     def collected_megabits(self) -> float:

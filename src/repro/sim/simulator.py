@@ -39,6 +39,7 @@ def run_tour(
     budget_policy: Optional[BudgetPolicy] = None,
     rest_time: float = 0.0,
     mutate: bool = True,
+    certify: bool = False,
 ) -> TourResult:
     """Execute one tour of ``algorithm`` over ``scenario``.
 
@@ -63,6 +64,13 @@ def run_tour(
     mutate:
         When ``False``, batteries are left untouched (single-shot
         algorithm comparisons on identical state).
+    certify:
+        When ``True``, produce a full solution certificate
+        (:func:`repro.verify.certificate.certify` — constraints with
+        slack values, LP bound, ratio guarantee) attached as
+        ``TourResult.certificate``; adds a ``certify_s`` profile phase
+        and a ``tour.certify`` timer.  The plain ``check_feasible``
+        verification always runs regardless.
 
     Returns
     -------
@@ -99,6 +107,14 @@ def run_tour(
             spent = allocation.energy_spent(instance)
         t_verified = time.perf_counter()
 
+        certificate = None
+        if certify:
+            from repro.verify.certificate import certify as _certify
+
+            with span("tour.certify", algorithm=algorithm.name):
+                certificate = _certify(instance, allocation, algorithm=algorithm.name)
+        t_certified = time.perf_counter()
+
         harvested = np.zeros(instance.num_sensors)
         spilled = np.zeros(instance.num_sensors)
         with span("tour.energy_update"):
@@ -116,9 +132,12 @@ def run_tour(
         "instance_build_s": t_built - t_start,
         "solve_s": t_solved - t_built,
         "verify_s": t_verified - t_solved,
-        "energy_update_s": t_end - t_verified,
+        "energy_update_s": t_end - t_certified,
         "total_s": t_end - t_start,
     }
+    if certify:
+        profile["certify_s"] = t_certified - t_verified
+        registry.observe("tour.certify", profile["certify_s"])
     registry.observe("tour.instance_build", profile["instance_build_s"])
     registry.observe("tour.solve", profile["solve_s"])
     registry.observe("tour.verify", profile["verify_s"])
@@ -136,6 +155,7 @@ def run_tour(
         messages=messages,
         wall_time=profile["solve_s"],
         profile=profile,
+        certificate=certificate,
     )
     _log.info(
         "tour %d [%s]: %.2f Mb in %.1f ms (build %.1f / solve %.1f / verify %.1f ms)",

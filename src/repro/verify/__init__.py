@@ -1,0 +1,88 @@
+"""repro.verify — zero-dependency verification subsystem.
+
+Correctness evidence as data, in three pillars:
+
+* **certificates** (:mod:`repro.verify.certificate`) —
+  :func:`certify` turns an (instance, allocation) pair into a
+  JSON-serialisable :class:`Certificate`: the paper's constraints
+  (1)-(4) as named checks with slack values, the LP upper bound, the
+  brute-force optimum on small instances, and the proven approximation
+  ratios — wired into ``run_tour(certify=True)``, the planning
+  service's ``"certify": true`` request field, and
+  ``python -m repro verify``;
+* **differential fuzzing** (:mod:`repro.verify.fuzz`,
+  :mod:`repro.verify.gen`, :mod:`repro.verify.shrink`) —
+  ``python -m repro fuzz`` draws random instances from the same
+  generator the Hypothesis suite uses, cross-checks every registered
+  algorithm's certificate plus metamorphic relations (slot reversal,
+  sensor relabeling, profit/energy scaling), and greedily shrinks any
+  failure to a minimal reproducer;
+* **replayable corpus** (:mod:`repro.verify.corpus`) — failures persist
+  as canonical JSON under ``tests/data/corpus/`` and are replayed by
+  ``tests/test_corpus.py`` as regression tests.
+
+Quick certificate::
+
+    from repro import ScenarioConfig, offline_appro
+    from repro.verify import certify
+
+    instance = ScenarioConfig(num_sensors=60, path_length=3000.0).build(seed=7).instance()
+    cert = certify(instance, offline_appro(instance), algorithm="Offline_Appro")
+    assert cert.verdict == "pass" and cert.lp_fraction > 0.5
+"""
+
+from repro.verify.certificate import (
+    RATIO_GUARANTEES,
+    Certificate,
+    CheckResult,
+    certify,
+    render_certificate,
+)
+from repro.verify.corpus import (
+    discover_corpus,
+    load_corpus_file,
+    replay_file,
+    save_failure,
+)
+from repro.verify.fuzz import (
+    FuzzFailure,
+    FuzzFinding,
+    FuzzReport,
+    check_instance,
+    relabel_sensors,
+    reverse_slots,
+    run_fuzz,
+    scale_energy,
+    scale_profits,
+)
+from repro.verify.gen import make_instance, random_instance
+from repro.verify.shrink import shrink_instance
+
+__all__ = [
+    # certificates
+    "Certificate",
+    "CheckResult",
+    "certify",
+    "render_certificate",
+    "RATIO_GUARANTEES",
+    # generation
+    "make_instance",
+    "random_instance",
+    # fuzzing
+    "FuzzFinding",
+    "FuzzFailure",
+    "FuzzReport",
+    "check_instance",
+    "run_fuzz",
+    "reverse_slots",
+    "relabel_sensors",
+    "scale_profits",
+    "scale_energy",
+    # shrinking
+    "shrink_instance",
+    # corpus
+    "save_failure",
+    "load_corpus_file",
+    "discover_corpus",
+    "replay_file",
+]

@@ -1,0 +1,136 @@
+"""Replayable failure corpus: canonical JSON reproducers on disk.
+
+Every failure the fuzzer finds is persisted as one canonical JSON file
+(sorted keys, stable separators, content-hashed filename) holding the
+shrunk instance, the gamma it ran with, and provenance about the
+finding.  ``tests/test_corpus.py`` replays every file under
+``tests/data/corpus/`` as a regression test — once a bug is fixed, its
+reproducer keeps guarding against reintroduction forever.
+
+Triage workflow: ``python -m repro verify --corpus-file <path>`` (or
+:func:`replay_file` from a REPL) re-runs the full differential check on
+the stored instance and reports any surviving findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.instance import DataCollectionInstance
+from repro.core.serialize import instance_from_dict, instance_to_dict
+from repro.verify.fuzz import FuzzFailure, FuzzFinding, check_instance
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "failure_to_dict",
+    "save_failure",
+    "load_corpus_file",
+    "discover_corpus",
+    "replay_file",
+    "default_corpus_dir",
+]
+
+#: Envelope format of a corpus document.
+CORPUS_FORMAT = "repro.fuzz_failure"
+CORPUS_VERSION = 1
+
+#: Where the repository's committed corpus lives (relative to the
+#: checkout root; the CLI default).
+DEFAULT_CORPUS_RELPATH = Path("tests") / "data" / "corpus"
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus directory, resolved from the working tree."""
+    return Path.cwd() / DEFAULT_CORPUS_RELPATH
+
+
+def _canonical_json(doc: Dict[str, Any]) -> str:
+    """Deterministic serialisation: sorted keys, 2-space indent, one
+    trailing newline — so identical failures produce identical bytes."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "x"
+
+
+def failure_to_dict(failure: FuzzFailure) -> Dict[str, Any]:
+    """Plain-dict corpus document for one failure."""
+    return {
+        "format": CORPUS_FORMAT,
+        "version": CORPUS_VERSION,
+        "kind": failure.finding.kind,
+        "algorithm": failure.finding.algorithm,
+        "check": failure.finding.check,
+        "detail": failure.finding.detail,
+        "seed": failure.seed,
+        "run_index": failure.run_index,
+        "gamma": failure.gamma,
+        "shrunk": failure.shrunk,
+        "original_shape": list(failure.original_shape),
+        "instance": instance_to_dict(failure.instance),
+    }
+
+
+def save_failure(failure: FuzzFailure, corpus_dir: Union[str, Path]) -> Path:
+    """Persist ``failure`` as canonical JSON; returns the file path.
+
+    The filename is ``{algorithm}-{check}-{hash8}.json`` where the hash
+    is over the canonical content, so re-saving the same failure is
+    idempotent and distinct failures never collide.
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    doc = failure_to_dict(failure)
+    blob = _canonical_json(doc)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:8]
+    name = f"{_slug(failure.finding.algorithm)}-{_slug(failure.finding.check)}-{digest}.json"
+    path = corpus_dir / name
+    path.write_text(blob, encoding="utf-8")
+    return path
+
+
+def load_corpus_file(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and validate one corpus document (envelope checked)."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("format") != CORPUS_FORMAT:
+        raise ValueError(
+            f"{path}: not a fuzz-failure document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != CORPUS_VERSION:
+        raise ValueError(f"{path}: unsupported corpus version {doc.get('version')!r}")
+    return doc
+
+
+def corpus_instance(doc: Dict[str, Any]) -> DataCollectionInstance:
+    """The reproducer instance stored in a corpus document."""
+    return instance_from_dict(doc["instance"])
+
+
+def discover_corpus(corpus_dir: Union[str, Path, None] = None) -> List[Path]:
+    """All corpus files under ``corpus_dir`` (default: the committed
+    corpus), sorted for deterministic test parametrisation."""
+    directory = Path(corpus_dir) if corpus_dir is not None else default_corpus_dir()
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def replay_file(
+    path: Union[str, Path],
+    algorithms: Optional[Dict[str, Any]] = None,
+) -> List[FuzzFinding]:
+    """Re-run the full differential check on a corpus file's instance.
+
+    Returns the surviving findings — empty means the historical failure
+    stays fixed (the regression-test condition).  ``algorithms`` can
+    inject a custom solver set (tests use this to confirm a corpus file
+    still reproduces against a deliberately broken solver).
+    """
+    doc = load_corpus_file(path)
+    instance = corpus_instance(doc)
+    return check_instance(instance, int(doc["gamma"]), algorithms=algorithms)

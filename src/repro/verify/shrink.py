@@ -1,0 +1,188 @@
+"""Greedy instance shrinking: failure -> minimal reproducer.
+
+Given an instance and a predicate ("does this instance still exhibit
+the failure?"), :func:`shrink_instance` repeatedly applies
+structure-removing transformations — drop a sensor, truncate the
+horizon, narrow a window, round the numeric payload — keeping each
+change only when the predicate still holds, until a full round makes no
+progress.  The result is the small, human-readable reproducer that gets
+persisted to the fuzz corpus.
+
+The predicate is treated as a black box; candidates whose construction
+or evaluation raises are simply rejected (the fuzzer's predicate
+already converts solver crashes into findings, so a genuine
+crash-reproducing candidate still evaluates to ``True``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.instance import DataCollectionInstance, SensorSlotData
+from repro.obs import get_logger
+from repro.utils.intervals import SlotInterval
+
+__all__ = ["shrink_instance"]
+
+_log = get_logger("verify.shrink")
+
+Predicate = Callable[[DataCollectionInstance], bool]
+
+#: Hard cap on predicate evaluations per shrink.
+DEFAULT_MAX_EVALS = 400
+
+
+def _rebuild(
+    num_slots: int, slot_duration: float, sensors: List[SensorSlotData]
+) -> DataCollectionInstance:
+    return DataCollectionInstance(num_slots, slot_duration, sensors)
+
+
+def _drop_sensor_candidates(
+    instance: DataCollectionInstance,
+) -> Iterator[DataCollectionInstance]:
+    """Every instance obtainable by removing one sensor."""
+    if instance.num_sensors <= 1:
+        return
+    for k in range(instance.num_sensors):
+        sensors = [d for i, d in enumerate(instance.sensors) if i != k]
+        yield _rebuild(instance.num_slots, instance.slot_duration, sensors)
+
+
+def _truncate_horizon_candidates(
+    instance: DataCollectionInstance,
+) -> Iterator[DataCollectionInstance]:
+    """Drop the last or the first slot (windows clipped, sensors whose
+    window vanishes become unreachable)."""
+    t = instance.num_slots
+    if t <= 1:
+        return
+    for keep in (SlotInterval(0, t - 2), SlotInterval(1, t - 1)):
+        sensors: List[SensorSlotData] = []
+        for data in instance.sensors:
+            window = data.window
+            inter = None if window is None else window.intersection(keep)
+            if inter is None:
+                sensors.append(
+                    SensorSlotData(None, np.zeros(0), np.zeros(0), data.budget)
+                )
+                continue
+            lo = inter.start - window.start
+            hi = inter.end - window.start
+            sensors.append(
+                SensorSlotData(
+                    inter.shift(-keep.start),
+                    data.rates[lo : hi + 1].copy(),
+                    data.powers[lo : hi + 1].copy(),
+                    data.budget,
+                )
+            )
+        yield _rebuild(t - 1, instance.slot_duration, sensors)
+
+
+def _narrow_window_candidates(
+    instance: DataCollectionInstance,
+) -> Iterator[DataCollectionInstance]:
+    """Trim one slot off one sensor's window (from either end)."""
+    for k, data in enumerate(instance.sensors):
+        if data.window is None or len(data.window) <= 1:
+            continue
+        for new_window, sl in (
+            (SlotInterval(data.window.start, data.window.end - 1), slice(0, -1)),
+            (SlotInterval(data.window.start + 1, data.window.end), slice(1, None)),
+        ):
+            trimmed = SensorSlotData(
+                new_window,
+                data.rates[sl].copy(),
+                data.powers[sl].copy(),
+                data.budget,
+            )
+            sensors = list(instance.sensors)
+            sensors[k] = trimmed
+            yield _rebuild(instance.num_slots, instance.slot_duration, sensors)
+
+
+def _round_candidates(
+    instance: DataCollectionInstance,
+) -> Iterator[DataCollectionInstance]:
+    """Round the numeric payload to friendlier values (whole rates,
+    2-decimal powers/budgets) — a big readability win when it keeps the
+    failure alive."""
+    sensors = []
+    changed = False
+    for data in instance.sensors:
+        rates = np.round(data.rates)
+        powers = np.round(data.powers, 2)
+        budget = round(data.budget, 2)
+        if (
+            not np.array_equal(rates, data.rates)
+            or not np.array_equal(powers, data.powers)
+            or budget != data.budget
+        ):
+            changed = True
+        sensors.append(SensorSlotData(data.window, rates, powers, budget))
+    if changed:
+        yield _rebuild(instance.num_slots, instance.slot_duration, sensors)
+
+
+#: Transformation passes in the order tried (coarsest first).
+_PASSES = (
+    _drop_sensor_candidates,
+    _truncate_horizon_candidates,
+    _narrow_window_candidates,
+    _round_candidates,
+)
+
+
+def _holds(predicate: Predicate, candidate: DataCollectionInstance) -> bool:
+    try:
+        return bool(predicate(candidate))
+    except Exception:  # noqa: BLE001 - a broken candidate is just "no"
+        return False
+
+
+def shrink_instance(
+    instance: DataCollectionInstance,
+    predicate: Predicate,
+    max_evals: int = DEFAULT_MAX_EVALS,
+) -> DataCollectionInstance:
+    """Greedily minimise ``instance`` while ``predicate`` stays true.
+
+    Returns the smallest instance found (possibly the input itself when
+    nothing can be removed).  ``predicate(instance)`` is assumed true on
+    entry; if it is not, the input is returned unchanged.
+    """
+    if not _holds(predicate, instance):
+        _log.warning("shrink: predicate false on the initial instance; keeping it")
+        return instance
+    current = instance
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for candidates_of in _PASSES:
+            # Restart a pass whenever it fires: indices shift after a
+            # removal, so regenerating candidates is the simple safe loop.
+            fired = True
+            while fired and evals < max_evals:
+                fired = False
+                for candidate in candidates_of(current):
+                    evals += 1
+                    if _holds(predicate, candidate):
+                        current = candidate
+                        progress = True
+                        fired = True
+                        break
+                    if evals >= max_evals:
+                        break
+    _log.info(
+        "shrink: (n=%d, T=%d) -> (n=%d, T=%d) in %d evals",
+        instance.num_sensors,
+        instance.num_slots,
+        current.num_sensors,
+        current.num_slots,
+        evals,
+    )
+    return current

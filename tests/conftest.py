@@ -1,84 +1,31 @@
-"""Shared fixtures and instance builders for the test suite."""
+"""Shared fixtures and instance builders for the test suite.
+
+Instance generation lives in :mod:`repro.verify.gen` (one generator
+shared by the Hypothesis suite and the differential fuzzer); the
+``make_instance`` / ``random_instance`` names here are thin aliases
+kept for backwards compatibility.
+
+Hypothesis example budgets are profile-driven: ``HYPOTHESIS_PROFILE=ci``
+(the CI default) runs 100 examples per property, the default ``dev``
+profile runs 25 for fast local iteration.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
-from repro.core.instance import DataCollectionInstance, SensorSlotData
 from repro.sim.scenario import ScenarioConfig
-from repro.utils.intervals import SlotInterval
+from repro.verify.gen import make_instance, random_instance
 
+__all__ = ["make_instance", "random_instance"]
 
-def make_instance(
-    num_slots: int,
-    slot_duration: float,
-    sensors: Sequence[dict],
-) -> DataCollectionInstance:
-    """Build an instance from compact dicts.
-
-    Each sensor dict: ``window=(start, end) | None``, ``rates=[...]``,
-    ``powers=[...]`` (aligned with the window) and ``budget=float``.
-    """
-    data = []
-    for s in sensors:
-        window = None if s["window"] is None else SlotInterval(*s["window"])
-        data.append(
-            SensorSlotData(
-                window,
-                np.asarray(s["rates"], dtype=np.float64),
-                np.asarray(s["powers"], dtype=np.float64),
-                float(s["budget"]),
-            )
-        )
-    return DataCollectionInstance(num_slots, slot_duration, data)
-
-
-def random_instance(
-    rng: np.random.Generator,
-    num_slots: int = 10,
-    num_sensors: int = 4,
-    max_window: int = 6,
-    rate_choices: Sequence[float] = (4800.0, 9600.0, 19200.0, 250000.0),
-    power_choices: Sequence[float] = (0.17, 0.22, 0.30, 0.33),
-    fixed_power: Optional[float] = None,
-    budget_scale: float = 1.0,
-) -> DataCollectionInstance:
-    """A random small DCMP instance for oracle comparisons.
-
-    Windows are random sub-intervals; rates/powers drawn from the
-    paper's level sets (or a single fixed power); budgets scaled so the
-    energy constraint binds for roughly half the sensors.
-    """
-    sensors = []
-    for _ in range(num_sensors):
-        if rng.random() < 0.1:
-            sensors.append({"window": None, "rates": [], "powers": [], "budget": 1.0})
-            continue
-        start = int(rng.integers(0, num_slots))
-        length = int(rng.integers(1, max_window + 1))
-        end = min(start + length - 1, num_slots - 1)
-        size = end - start + 1
-        idx = rng.integers(0, len(rate_choices), size=size)
-        rates = np.asarray(rate_choices)[idx]
-        if fixed_power is None:
-            powers = np.asarray(power_choices)[idx]
-        else:
-            powers = np.full(size, fixed_power)
-        # Budget: enough for a random fraction of the window.
-        mean_cost = float(powers.mean())
-        budget = budget_scale * mean_cost * rng.uniform(0.3, 1.2) * size
-        sensors.append(
-            {
-                "window": (start, end),
-                "rates": rates,
-                "powers": powers,
-                "budget": budget,
-            }
-        )
-    return make_instance(num_slots, 1.0, sensors)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -33,8 +33,20 @@ class TestConstruction:
         with pytest.raises(ValueError):
             Allocation.from_sensor_slots(5, {0: [1], 1: [1]})
 
+    def test_double_assignment_message_names_both_sensors_and_horizon(self):
+        with pytest.raises(ValueError, match=r"slot 1 assigned to both sensor 0 and 1"):
+            Allocation.from_sensor_slots(5, {0: [1], 1: [1]})
+        with pytest.raises(ValueError, match=r"T=5"):
+            Allocation.from_sensor_slots(5, {0: [1], 1: [1]})
+
     def test_out_of_range_slot_rejected(self):
         with pytest.raises(ValueError):
+            Allocation.from_sensor_slots(5, {0: [5]})
+
+    def test_out_of_range_message_names_sensor_and_bounds(self):
+        with pytest.raises(
+            ValueError, match=r"sensor 0: slot 5 outside \[0, 4\] \(allocation horizon T=5\)"
+        ):
             Allocation.from_sensor_slots(5, {0: [5]})
 
     def test_owner_array_immutable(self):
@@ -114,6 +126,19 @@ class TestFeasibility:
         problems = alloc.violations(inst)
         assert any("budget" in p for p in problems)
         with pytest.raises(ValueError):
+            alloc.check_feasible(inst)
+
+    def test_budget_violation_reports_overdraw_amount(self, inst):
+        alloc = Allocation.from_sensor_slots(6, {0: [0, 1, 2]})
+        (problem,) = alloc.violations(inst)
+        # Spend 3 J against a 2 J budget: the message quantifies the excess.
+        assert "by 1.000e+00 J" in problem
+
+    def test_check_feasible_message_names_instance_shape(self, inst):
+        alloc = Allocation.from_sensor_slots(6, {0: [0, 1, 2]})
+        with pytest.raises(
+            ValueError, match=r"infeasible allocation \(n=2 sensors, T=6 slots\)"
+        ):
             alloc.check_feasible(inst)
 
     def test_budget_exact_is_feasible(self, inst):

@@ -26,6 +26,7 @@ MODULES = [
     "repro.experiments",
     "repro.viz",
     "repro.service",
+    "repro.verify",
     "repro.cli",
 ]
 

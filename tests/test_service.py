@@ -61,8 +61,8 @@ def _request(port, path, method="GET", doc=None, raw=None, timeout=120):
         return err.code, json.loads(err.read())
 
 
-def _solve_body(scenario=SMALL, algorithm="Offline_Appro", seed=7):
-    return {"scenario": dict(scenario), "algorithm": algorithm, "seed": seed}
+def _solve_body(scenario=SMALL, algorithm="Offline_Appro", seed=7, **extra):
+    return {"scenario": dict(scenario), "algorithm": algorithm, "seed": seed, **extra}
 
 
 def _raw_request(port, path, method="GET", doc=None, headers=None, timeout=120):
@@ -164,6 +164,30 @@ class TestSolve:
         )
         assert status == 200
         assert doc["algorithm"] == "Offline_Appro"
+
+    def test_certify_request_attaches_certificate(self, served):
+        port, _ = served
+        body = _solve_body(seed=31, certify=True)
+        status, doc = _request(port, "/v1/solve", "POST", body)
+        assert status == 200, doc
+        cert = doc["certificate"]
+        assert cert["format"] == "repro.certificate"
+        assert cert["verdict"] == "pass"
+        assert cert["algorithm"] == doc["algorithm"]
+        check_names = {c["name"] for c in cert["checks"]}
+        assert {"horizon", "windows", "slot_exclusivity", "budgets"} <= check_names
+        # The certificate reuses the solver's LP bound rather than re-solving.
+        assert cert["lp_fraction"] == pytest.approx(doc["lp_bound_fraction"])
+
+    def test_certify_and_plain_requests_cache_separately(self, served):
+        port, _ = served
+        plain = _solve_body(seed=32)
+        status, doc = _request(port, "/v1/solve", "POST", plain)
+        assert status == 200 and "certificate" not in doc
+        status, doc = _request(port, "/v1/solve", "POST", dict(plain, certify=True))
+        assert status == 200, doc
+        assert doc["cached"] is False  # distinct cache key: no stale, cert-less hit
+        assert "certificate" in doc
 
     def test_repeat_request_served_from_cache(self, served):
         port, service = served
@@ -656,6 +680,14 @@ class TestSchema:
         with pytest.raises(RequestError, match="seed"):
             parse_solve_request({"seed": True})
 
+    def test_certify_defaults_false_and_must_be_bool(self):
+        assert parse_solve_request({"scenario": {}}).certify is False
+        assert parse_solve_request({"scenario": {}, "certify": True}).certify is True
+        with pytest.raises(RequestError, match="certify"):
+            parse_solve_request({"certify": "yes"})
+        with pytest.raises(RequestError, match="certify"):
+            parse_solve_request({"certify": 1})
+
     def test_error_body_shape(self):
         err = RequestError("boom", status=413, field="scenario")
         assert err.to_dict() == {"error": "boom", "status": 413, "field": "scenario"}
@@ -695,3 +727,10 @@ class TestCache:
         assert a != c
         assert a != solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "B", 1)
         assert a != solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "A", 2)
+
+    def test_certify_flag_changes_key_backward_compatibly(self):
+        scenario = {"num_sensors": 10}
+        plain = solve_cache_key(scenario, "A", 1)
+        # certify=False must hash identically to the historical 3-arg key.
+        assert solve_cache_key(scenario, "A", 1, certify=False) == plain
+        assert solve_cache_key(scenario, "A", 1, certify=True) != plain
