@@ -32,9 +32,22 @@ Subcommands:
       python -m repro serve --trace-threshold 1.0 --trace-dir traces
 
 * ``bench`` — run the fixed core benchmark grid and (optionally) write
-  the machine-readable document::
+  the machine-readable document; ``--compare`` diffs two documents and
+  exits 1 on a regression (counters gate exactly, wall clocks by
+  relative threshold over a noise floor)::
 
-      python -m repro bench --quick --json BENCH_core.json
+      python -m repro bench --quick --repeat 3 --json BENCH_core.json
+      python -m repro bench --compare BENCH_core.json BENCH_new.json
+      python -m repro bench --compare old.json new.json --wall-warn-only
+
+* ``loadtest`` — drive a live ``repro serve`` instance with a
+  configurable concurrency/duration/scenario mix, report client-side
+  latency histograms plus server-side counter deltas (scraped from
+  ``/metrics?format=prometheus``), and assert SLOs; exits 1 on a
+  violation::
+
+      python -m repro loadtest --url http://127.0.0.1:8080 \\
+          --concurrency 8 --duration 30 --slo-p95-ms 500 --slo-error-rate 0.01
 
 * ``verify`` — certify one algorithm's solution on one topology
   (constraints (1)-(4) with slack values, LP bound, ratio guarantee),
@@ -278,7 +291,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the fixed core benchmark grid (wall clock + registry stats)",
+        help="run the fixed core benchmark grid (wall clock + registry stats), "
+        "or diff two bench documents with --compare",
     )
     bench.add_argument(
         "--quick",
@@ -287,11 +301,157 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=7, help="topology seed")
     bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run every cell N times; wall_s becomes the per-cell minimum and "
+        "a min/median/max wall_stats block is recorded (default: 1)",
+    )
+    bench.add_argument(
+        "--label",
+        type=str,
+        default=None,
+        help="free-form provenance label stamped into the document",
+    )
+    bench.add_argument(
         "--json",
         type=str,
         default=None,
         metavar="PATH",
-        help="also write the full JSON document (e.g. BENCH_core.json) here",
+        help="also write the full JSON document (bench run or, with "
+        "--compare, the machine-readable comparison) here",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="diff two bench JSON documents instead of running the grid; "
+        "exits 1 on a regression",
+    )
+    bench.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative wall-clock increase allowed before a regression "
+        "(default: 0.30; per-algorithm built-ins may widen it)",
+    )
+    bench.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative work-counter drift allowed (default: 0 = exact match)",
+    )
+    bench.add_argument(
+        "--noise-floor-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="absolute wall-clock increase a regression must also exceed "
+        "(default: 10 ms)",
+    )
+    bench.add_argument(
+        "--wall-warn-only",
+        action="store_true",
+        help="demote wall-clock regressions to warnings (counters still "
+        "gate) — for shared/noisy CI runners",
+    )
+    bench.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the --compare report as GitHub markdown",
+    )
+    bench.add_argument(
+        "--report",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write the rendered --compare report to this file",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="drive a live planning service and assert p95/error-rate SLOs",
+    )
+    loadtest.add_argument(
+        "--url",
+        type=str,
+        default="http://127.0.0.1:8080",
+        help="base URL of the repro serve instance under test",
+    )
+    loadtest.add_argument(
+        "--concurrency", type=int, default=4, help="concurrent client workers"
+    )
+    loadtest.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="wall-clock budget of the run (stops issuing at the deadline)",
+    )
+    loadtest.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N total requests instead of running out the clock",
+    )
+    loadtest.add_argument(
+        "--mix",
+        type=str,
+        default="solve=2,cached=2,jobs=1",
+        help="scenario mix weights, e.g. solve=2,cached=2,jobs=1 "
+        "(solve: cache-busting sync solves; cached: fixed-seed replays; "
+        "jobs: async submit+poll)",
+    )
+    loadtest.add_argument(
+        "--sensors",
+        type=int,
+        default=30,
+        help="num_sensors of the generated scenarios (keep small: the "
+        "point is request plumbing, not solver scale)",
+    )
+    loadtest.add_argument(
+        "--path-length",
+        type=float,
+        default=1500.0,
+        help="path length of the generated scenarios (metres)",
+    )
+    loadtest.add_argument(
+        "--algorithm",
+        type=str,
+        default="Offline_Appro",
+        help="algorithm requested of the service (default: Offline_Appro)",
+    )
+    loadtest.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request client timeout in seconds",
+    )
+    loadtest.add_argument(
+        "--slo-p95-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="fail (exit 1) when overall client-side p95 exceeds this",
+    )
+    loadtest.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail (exit 1) when the error fraction exceeds this",
+    )
+    loadtest.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable report here",
     )
 
     return parser
@@ -594,12 +754,64 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench_compare import (
+        CompareConfig,
+        compare_bench,
+        render_comparison,
+    )
+
+    old_path, new_path = args.compare
+    with open(old_path, encoding="utf-8") as fh:
+        old_doc = json.load(fh)
+    with open(new_path, encoding="utf-8") as fh:
+        new_doc = json.load(fh)
+    defaults = CompareConfig()
+    config = CompareConfig(
+        wall_tolerance=(
+            args.wall_tolerance
+            if args.wall_tolerance is not None
+            else defaults.wall_tolerance
+        ),
+        wall_noise_floor_s=(
+            args.noise_floor_ms / 1e3
+            if args.noise_floor_ms is not None
+            else defaults.wall_noise_floor_s
+        ),
+        counter_tolerance=(
+            args.counter_tolerance
+            if args.counter_tolerance is not None
+            else defaults.counter_tolerance
+        ),
+        wall_warn_only=args.wall_warn_only,
+    )
+    comparison = compare_bench(old_doc, new_doc, config)
+    report = render_comparison(comparison, markdown=args.markdown)
+    print(report)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"[compare report written to {args.report}]")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(comparison, fh, indent=2)
+            fh.write("\n")
+        print(f"[compare document written to {args.json}]")
+    return 0 if comparison["ok"] else 1
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.bench import render_bench, run_bench
 
-    document = run_bench(quick=args.quick, seed=args.seed)
+    if args.compare is not None:
+        return _run_bench_compare(args)
+    document = run_bench(
+        quick=args.quick, seed=args.seed, repeat=args.repeat, label=args.label
+    )
     print(render_bench(document))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -607,6 +819,34 @@ def _run_bench(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"[bench document written to {args.json}]")
     return 0
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.loadtest import LoadTestConfig, parse_mix, render_report, run_loadtest
+
+    config = LoadTestConfig(
+        base_url=args.url,
+        concurrency=args.concurrency,
+        duration_s=args.duration,
+        total_requests=args.requests,
+        mix=parse_mix(args.mix),
+        num_sensors=args.sensors,
+        path_length=args.path_length,
+        algorithm=args.algorithm,
+        request_timeout=args.timeout,
+        slo_p95_ms=args.slo_p95_ms,
+        slo_error_rate=args.slo_error_rate,
+    )
+    report = run_loadtest(config)
+    print(render_report(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"[loadtest report written to {args.json}]")
+    return 0 if report["slo"]["passed"] else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -628,6 +868,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     if args.command == "verify":
         return _run_verify(args)
     if args.command == "fuzz":

@@ -15,14 +15,25 @@ Two grids:
 Each cell solves one seeded topology under a fresh recording
 :class:`~repro.obs.registry.MetricsRegistry`, so the JSON document
 carries solver counters (``knapsack.calls``, ``mcmf.solves``, …) and
-timer histograms next to the wall-clock numbers.  Wall times vary
-machine to machine; the committed file is a trajectory anchor, not a
-regression gate.
+timer histograms next to the wall-clock numbers.  ``repeat > 1`` runs
+every cell that many times and reports the min/median wall clock per
+cell (``wall_s`` is the minimum — the least-noisy repeat), cutting
+single-shot noise on shared runners.
+
+Every document is stamped with provenance — the git commit it was
+produced from, whether the working tree was dirty, and an optional
+free-form label — so the committed ``BENCH_*`` trajectory stays
+attributable.  Wall times vary machine to machine; the committed file
+is compared against fresh runs by ``repro bench --compare``
+(:mod:`repro.experiments.bench_compare`), with machine-independent
+work counters as the hard gate.
 """
 
 from __future__ import annotations
 
 import platform
+import statistics
+import subprocess
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,10 +43,16 @@ from repro.sim.algorithms import ALGORITHMS, get_algorithm, requires_fixed_power
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
 
-__all__ = ["BENCH_FORMAT", "BENCH_VERSION", "run_bench", "render_bench"]
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_VERSION",
+    "git_provenance",
+    "run_bench",
+    "render_bench",
+]
 
 BENCH_FORMAT = "repro.bench"
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 #: (num_sensors, path_length) cells of the two grids.
 QUICK_GRID: Tuple[Tuple[int, float], ...] = ((30, 1500.0), (60, 1500.0))
@@ -45,18 +62,58 @@ FULL_GRID: Tuple[Tuple[int, float], ...] = ((100, 10_000.0), (300, 10_000.0))
 FIXED_POWER = 0.3
 
 
+def _git(*args: str) -> Optional[str]:
+    """Output of one git command, or ``None`` when unavailable."""
+    try:
+        proc = subprocess.run(
+            ("git",) + args,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+def git_provenance() -> Dict[str, object]:
+    """Best-effort git provenance of the working tree.
+
+    Returns ``{"git_commit": <sha or None>, "git_dirty": <bool or
+    None>}``; both ``None`` outside a git checkout (or without a git
+    binary), so bench documents are still produced from tarballs.
+    """
+    commit = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain") if commit is not None else None
+    return {
+        "git_commit": commit,
+        "git_dirty": bool(status) if status is not None else None,
+    }
+
+
 def run_bench(
     quick: bool = False,
     seed: int = 7,
     grid: Optional[Sequence[Tuple[int, float]]] = None,
     algorithms: Optional[Sequence[str]] = None,
+    repeat: int = 1,
+    label: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the benchmark grid; returns the JSON-ready document.
 
     ``grid`` / ``algorithms`` override the built-in cells (used by
     tests to shrink the run); by default every registered algorithm
-    runs on every cell of the quick or full grid.
+    runs on every cell of the quick or full grid.  ``repeat`` runs each
+    cell that many times: ``wall_s`` becomes the per-cell minimum and a
+    ``wall_stats`` block records min/median/max across repeats (solver
+    counters are deterministic, so they come from the fastest repeat).
+    ``label`` is stamped into the document's provenance block.
     """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     cells = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
     names = list(algorithms) if algorithms is not None else sorted(ALGORITHMS)
     entries: List[Dict[str, object]] = []
@@ -68,43 +125,61 @@ def run_bench(
                 path_length=path_length,
                 fixed_power=fixed_power,
             )
-            registry = MetricsRegistry()
-            t0 = time.perf_counter()
-            with use_registry(registry):
-                scenario = config.build(seed=seed)
-                result = run_tour(scenario, get_algorithm(name), mutate=False)
-            wall_s = time.perf_counter() - t0
-            snapshot = registry.snapshot()
-            entries.append(
-                {
-                    "algorithm": name,
-                    "num_sensors": num_sensors,
-                    "path_length": path_length,
-                    "fixed_power": fixed_power,
-                    "seed": seed,
-                    "wall_s": wall_s,
-                    "collected_megabits": float(result.collected_megabits),
-                    "profile": {k: float(v) for k, v in result.profile.items()},
-                    "counters": snapshot["counters"],
-                    "timers": snapshot["timers"],
+            runs: List[Tuple[float, Dict[str, object], object]] = []
+            for _ in range(repeat):
+                registry = MetricsRegistry()
+                t0 = time.perf_counter()
+                with use_registry(registry):
+                    scenario = config.build(seed=seed)
+                    result = run_tour(scenario, get_algorithm(name), mutate=False)
+                wall_s = time.perf_counter() - t0
+                runs.append((wall_s, registry.snapshot(), result))
+            walls = sorted(wall for wall, _, _ in runs)
+            best_wall, snapshot, result = min(runs, key=lambda run: run[0])
+            entry: Dict[str, object] = {
+                "algorithm": name,
+                "num_sensors": num_sensors,
+                "path_length": path_length,
+                "fixed_power": fixed_power,
+                "seed": seed,
+                "wall_s": best_wall,
+                "collected_megabits": float(result.collected_megabits),
+                "profile": {k: float(v) for k, v in result.profile.items()},
+                "counters": snapshot["counters"],
+                "timers": snapshot["timers"],
+            }
+            if repeat > 1:
+                entry["wall_stats"] = {
+                    "repeats": repeat,
+                    "min_s": walls[0],
+                    "median_s": statistics.median(walls),
+                    "max_s": walls[-1],
                 }
-            )
+            entries.append(entry)
     return {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,
         "quick": bool(quick),
         "seed": seed,
+        "repeat": repeat,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "provenance": {**git_provenance(), "label": label},
         "entries": entries,
     }
 
 
 def render_bench(document: Dict[str, object]) -> str:
     """Human-readable table of one :func:`run_bench` document."""
-    lines = [
-        f"{'algorithm':<26} {'n':>5} {'wall ms':>9} {'solve ms':>9} {'Mb':>9}",
-    ]
+    lines = []
+    provenance = document.get("provenance") or {}
+    if provenance.get("git_commit"):
+        dirty = " (dirty)" if provenance.get("git_dirty") else ""
+        label = f" label={provenance['label']}" if provenance.get("label") else ""
+        lines.append(f"commit {provenance['git_commit'][:12]}{dirty}{label}")
+    lines.append(
+        f"{'algorithm':<26} {'n':>5} {'wall ms':>9} {'solve ms':>9} {'Mb':>9}"
+    )
     for entry in document["entries"]:
         solve_ms = entry["profile"].get("solve_s", 0.0) * 1e3
         lines.append(

@@ -1,0 +1,38 @@
+"""repro.loadtest — SLO load-test harness for the planning service.
+
+Drives a live ``repro serve`` instance with a configurable
+concurrency/duration/scenario mix (cache-busting sync solves, async
+job submit+poll, fixed-seed cache-hit replays), records client-side
+latency histograms into a :class:`~repro.obs.registry.MetricsRegistry`,
+scrapes ``/metrics?format=prometheus`` before and after to report
+server-side counter deltas and cache hit-rate, and grades the run
+against ``--slo-p95-ms`` / ``--slo-error-rate`` service-level
+objectives.  CLI: ``python -m repro loadtest`` (exits 1 on an SLO
+violation); see :mod:`repro.loadtest.harness`.
+"""
+
+from repro.loadtest.harness import (
+    LOADTEST_FORMAT,
+    LOADTEST_VERSION,
+    LoadTestConfig,
+    parse_mix,
+    render_report,
+    run_loadtest,
+)
+from repro.loadtest.promscrape import (
+    counter_delta,
+    parse_prometheus_text,
+    sample_total,
+)
+
+__all__ = [
+    "LOADTEST_FORMAT",
+    "LOADTEST_VERSION",
+    "LoadTestConfig",
+    "parse_mix",
+    "render_report",
+    "run_loadtest",
+    "parse_prometheus_text",
+    "sample_total",
+    "counter_delta",
+]

@@ -1,0 +1,89 @@
+"""Minimal Prometheus text-exposition (0.0.4) parser for the loadtest.
+
+The loadtest harness scrapes a live service's
+``GET /metrics?format=prometheus`` before and after the run and
+subtracts the two scrapes to report *server-side* work: requests
+served, cache hits/misses, solver calls.  :func:`parse_prometheus_text`
+is the inverse of :func:`repro.obs.promexpo.render_prometheus` to the
+extent the loadtest needs — sample lines become ``{metric name:
+{labels: value}}``; ``# HELP`` / ``# TYPE`` comments are skipped.  No
+third-party client library, same as the exposition side.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["Labels", "parse_prometheus_text", "sample_total", "counter_delta"]
+
+#: A sample's label set, canonicalised as a sorted tuple of pairs.
+Labels = Tuple[Tuple[str, str], ...]
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[Labels, float]]:
+    """Parse exposition text into ``{name: {labels: value}}``.
+
+    Unparseable sample values (``NaN`` parses fine; garbage lines are
+    skipped rather than raised on — a scrape race mid-write should not
+    kill a load test).
+    """
+    samples: Dict[str, Dict[Labels, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        labels: Labels = ()
+        if match.group("labels"):
+            labels = tuple(
+                sorted(
+                    (key, _unescape(raw))
+                    for key, raw in _LABEL.findall(match.group("labels"))
+                )
+            )
+        samples.setdefault(match.group("name"), {})[labels] = value
+    return samples
+
+
+def sample_total(
+    samples: Mapping[str, Mapping[Labels, float]], name: str
+) -> Optional[float]:
+    """Sum of one metric across all its label sets (``None`` if absent)."""
+    family = samples.get(name)
+    if not family:
+        return None
+    return float(sum(family.values()))
+
+
+def counter_delta(
+    before: Mapping[str, Mapping[Labels, float]],
+    after: Mapping[str, Mapping[Labels, float]],
+    name: str,
+) -> Optional[float]:
+    """``after - before`` of a summed counter; ``None`` when the metric
+    is missing from both scrapes (absent-before counts as 0: counters
+    appear on first increment)."""
+    after_total = sample_total(after, name)
+    if after_total is None:
+        return None if sample_total(before, name) is None else 0.0
+    return after_total - (sample_total(before, name) or 0.0)

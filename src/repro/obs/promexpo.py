@@ -8,8 +8,8 @@ library:
 * **counters** → ``<ns>_<name>_total`` ``counter`` samples;
 * **gauges**   → ``<ns>_<name>`` ``gauge`` samples;
 * **timers**   → ``<ns>_<name>_seconds`` ``summary`` families with
-  ``{quantile="0.5"}`` / ``{quantile="0.95"}`` samples plus the
-  standard ``_sum`` and ``_count`` series.
+  ``{quantile="0.5"}`` / ``{quantile="0.95"}`` / ``{quantile="0.99"}``
+  samples plus the standard ``_sum`` and ``_count`` series.
 
 Metric names are sanitised to ``[a-zA-Z0-9_:]`` (dots become
 underscores: ``service.cache.hit`` → ``repro_service_cache_hit_total``).
@@ -145,6 +145,9 @@ def render_prometheus(snapshot: Mapping, namespace: str = "repro") -> str:
             )
             lines.append(
                 _sample(metric, labels + [("quantile", "0.95")], stats.get("p95_s", 0.0))
+            )
+            lines.append(
+                _sample(metric, labels + [("quantile", "0.99")], stats.get("p99_s", 0.0))
             )
             lines.append(_sample(f"{metric}_sum", labels, stats.get("total_s", 0.0)))
             lines.append(_sample(f"{metric}_count", labels, stats.get("count", 0)))

@@ -7,7 +7,7 @@ dispatch, not by the algorithms' asymptotics.  Two registry flavours
 realise the "near-free when disabled" contract:
 
 * :class:`MetricsRegistry` — the real thing: thread-safe counters,
-  gauges, and timer histograms (count/total/min/max/mean/p50/p95), a
+  gauges, and timer histograms (count/total/min/max/mean/p50/p95/p99), a
   :meth:`~MetricsRegistry.snapshot` exportable as JSON, and a
   :meth:`~MetricsRegistry.timed` context manager;
 * :class:`NullRegistry` — every recording method is a ``pass`` and
@@ -67,6 +67,7 @@ class TimerStats:
     mean: float
     p50: float
     p95: float
+    p99: float
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dict with ``_s``-suffixed keys for JSON reports."""
@@ -78,6 +79,7 @@ class TimerStats:
             "mean_s": self.mean,
             "p50_s": self.p50,
             "p95_s": self.p95,
+            "p99_s": self.p99,
         }
 
 
@@ -150,7 +152,7 @@ class MetricsRegistry:
         with self._lock:
             values = sorted(self._timers.get(name, ()))
         if not values:
-            return TimerStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return TimerStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         total = float(sum(values))
         return TimerStats(
             count=len(values),
@@ -160,6 +162,7 @@ class MetricsRegistry:
             mean=total / len(values),
             p50=_percentile(values, 0.50),
             p95=_percentile(values, 0.95),
+            p99=_percentile(values, 0.99),
         )
 
     def snapshot(self) -> Dict[str, Dict]:

@@ -271,7 +271,8 @@ class PlanningService:
         }
 
     def health(self) -> dict:
-        """Liveness document: uptime, queue depth/occupancy, cache."""
+        """Liveness document: uptime, queue depth/occupancy, cache
+        occupancy plus cumulative hit/miss totals and hit-rate."""
         queue = self.executor.stats()
         return {
             "status": "ok",

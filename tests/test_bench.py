@@ -63,9 +63,58 @@ def test_maxmatch_cells_pin_fixed_power():
 def test_render_bench_lists_every_entry(tiny_doc):
     text = render_bench(tiny_doc)
     lines = text.splitlines()
-    assert len(lines) == 1 + len(tiny_doc["entries"])
+    # Header line, optional provenance line (present inside a git
+    # checkout), then one line per entry.
+    has_provenance = tiny_doc["provenance"].get("git_commit") is not None
+    assert len(lines) == 1 + int(has_provenance) + len(tiny_doc["entries"])
     for entry in tiny_doc["entries"]:
         assert any(entry["algorithm"] in line for line in lines[1:])
+
+
+def test_document_carries_provenance(tiny_doc):
+    provenance = tiny_doc["provenance"]
+    assert set(provenance) == {"git_commit", "git_dirty", "label"}
+    assert tiny_doc["repeat"] == 1
+    # This test suite runs inside a git checkout, so the SHA resolves.
+    commit = provenance["git_commit"]
+    if commit is not None:
+        assert len(commit) == 40
+        assert isinstance(provenance["git_dirty"], bool)
+
+
+def test_label_lands_in_provenance_and_render():
+    doc = run_bench(
+        quick=True,
+        seed=3,
+        grid=TINY_GRID,
+        algorithms=("Baseline[greedy_profit]",),
+        label="ci-main",
+    )
+    assert doc["provenance"]["label"] == "ci-main"
+    if doc["provenance"]["git_commit"] is not None:
+        assert "label=ci-main" in render_bench(doc).splitlines()[0]
+
+
+def test_repeat_takes_min_and_reports_spread():
+    doc = run_bench(
+        quick=True,
+        seed=3,
+        grid=TINY_GRID,
+        algorithms=("Baseline[greedy_profit]",),
+        repeat=3,
+    )
+    assert doc["repeat"] == 3
+    [entry] = doc["entries"]
+    stats = entry["wall_stats"]
+    assert stats["repeats"] == 3
+    assert stats["min_s"] <= stats["median_s"] <= stats["max_s"]
+    assert entry["wall_s"] == stats["min_s"]
+
+
+def test_repeat_must_be_positive():
+    with pytest.raises(ValueError, match="repeat"):
+        run_bench(quick=True, seed=3, grid=TINY_GRID,
+                  algorithms=("Offline_Appro",), repeat=0)
 
 
 def test_grids_are_distinct():
@@ -83,6 +132,10 @@ def test_cli_accepts_bench_flags(tmp_path):
     assert args.seed == 11
     args = parser.parse_args(["bench"])
     assert args.quick is False and args.json is None
+    assert args.repeat == 1 and args.label is None and args.compare is None
+    args = parser.parse_args(["bench", "--quick", "--repeat", "3",
+                              "--label", "ci"])
+    assert args.repeat == 3 and args.label == "ci"
 
 
 def test_cli_accepts_new_serve_flags(tmp_path):

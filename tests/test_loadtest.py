@@ -1,0 +1,268 @@
+"""Loadtest harness tests: mix parsing, scrape parsing, SLO grading.
+
+The integration tests drive a real in-process :class:`PlanningService`
+(same fixture shape as ``test_service.py``) with a tiny fixed request
+budget so the suite stays fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import build_parser
+from repro.loadtest import (
+    LOADTEST_FORMAT,
+    LoadTestConfig,
+    counter_delta,
+    parse_mix,
+    parse_prometheus_text,
+    render_report,
+    run_loadtest,
+    sample_total,
+)
+from repro.obs import MetricsRegistry
+from repro.service import PlanningService, create_server
+
+
+class TestParseMix:
+    def test_weighted_spec(self):
+        assert parse_mix("solve=2,cached=2,jobs=1") == {
+            "solve": 2,
+            "cached": 2,
+            "jobs": 1,
+        }
+
+    def test_bare_name_defaults_to_weight_one(self):
+        assert parse_mix("solve") == {"solve": 1}
+
+    def test_omitted_ops_are_simply_absent(self):
+        assert parse_mix("cached=3") == {"cached": 3}
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix operation"):
+            parse_mix("solve=1,deletes=2")
+
+    def test_non_integer_weight_rejected(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            parse_mix("solve=fast")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            parse_mix("solve=-1")
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="selects no operations"):
+            parse_mix("solve=0,jobs=0")
+
+
+class TestPromScrape:
+    TEXT = "\n".join(
+        [
+            "# HELP repro_service_cache_hit_total Monotonic counter.",
+            "# TYPE repro_service_cache_hit_total counter",
+            "repro_service_cache_hit_total 5",
+            'repro_knapsack_solve_seconds{quantile="0.5"} 0.01',
+            'repro_matching_engine_seconds_count{engine="scipy"} 3',
+            'repro_matching_engine_seconds_count{engine="pure"} 2',
+            "this line is garbage",
+            "repro_bad_value NaN-ish",
+            "",
+        ]
+    )
+
+    def test_parse_skips_comments_and_garbage(self):
+        samples = parse_prometheus_text(self.TEXT)
+        assert samples["repro_service_cache_hit_total"][()] == 5.0
+        assert samples["repro_knapsack_solve_seconds"][
+            (("quantile", "0.5"),)
+        ] == 0.01
+        assert "repro_bad_value" not in samples
+        assert "this" not in samples
+
+    def test_sample_total_sums_across_label_sets(self):
+        samples = parse_prometheus_text(self.TEXT)
+        assert sample_total(samples, "repro_matching_engine_seconds_count") == 5.0
+        assert sample_total(samples, "repro_absent_total") is None
+
+    def test_counter_delta(self):
+        before = parse_prometheus_text("repro_a_total 3")
+        after = parse_prometheus_text("repro_a_total 10\nrepro_b_total 4")
+        assert counter_delta(before, after, "repro_a_total") == 7.0
+        # Absent before, present after: counters appear on first increment.
+        assert counter_delta(before, after, "repro_b_total") == 4.0
+        # Absent from both scrapes: unknown, not zero.
+        assert counter_delta(before, after, "repro_c_total") is None
+
+    def test_round_trip_with_real_exposition(self):
+        from repro.obs.promexpo import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.inc("loadtest.requests", 3)
+        registry.observe("x.y", 0.5)
+        samples = parse_prometheus_text(render_prometheus(registry.snapshot()))
+        assert sample_total(samples, "repro_loadtest_requests_total") == 3.0
+        assert sample_total(samples, "repro_x_y_seconds_count") == 1.0
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = LoadTestConfig()
+        assert config.mix == {"solve": 2, "cached": 2, "jobs": 1}
+
+    def test_rejects_bad_concurrency(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            LoadTestConfig(concurrency=0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            LoadTestConfig(duration_s=0.0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="total_requests"):
+            LoadTestConfig(total_requests=0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError, match="selects no operations"):
+            LoadTestConfig(mix={"solve": 0})
+
+    def test_cli_parser_has_loadtest_command(self):
+        args = build_parser().parse_args(
+            [
+                "loadtest",
+                "--url", "http://127.0.0.1:9999",
+                "--concurrency", "2",
+                "--requests", "8",
+                "--mix", "solve=1,cached=3",
+                "--slo-p95-ms", "500",
+                "--slo-error-rate", "0.01",
+            ]
+        )
+        assert args.command == "loadtest"
+        assert args.url == "http://127.0.0.1:9999"
+        assert args.requests == 8
+        assert parse_mix(args.mix) == {"solve": 1, "cached": 3}
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One live planning service on an ephemeral port for the module."""
+    registry = MetricsRegistry()
+    service = PlanningService(
+        workers=2, cache_size=64, request_timeout=120.0, registry=registry
+    )
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    service.shutdown()
+    thread.join(timeout=10)
+
+
+class TestRunLoadtest:
+    def test_small_run_reports_latency_and_server_side_cache(self, served):
+        config = LoadTestConfig(
+            base_url=served,
+            concurrency=2,
+            duration_s=60.0,          # budget, not the clock, ends the run
+            total_requests=10,
+            mix={"solve": 1, "cached": 3},
+            num_sensors=12,
+            seed=5,
+        )
+        registry = MetricsRegistry()
+        report = run_loadtest(config, registry=registry)
+
+        assert report["format"] == LOADTEST_FORMAT
+        assert report["requests"] == 10
+        assert report["errors"] == 0
+        assert report["status_counts"].get("200") == 10
+        assert report["slo"]["passed"] is True  # no SLOs asserted
+
+        overall = report["latency_ms"]["overall"]
+        assert overall["count"] == 10
+        assert 0 < overall["p50_ms"] <= overall["p95_ms"] <= overall["max_ms"]
+        assert set(report["latency_ms"]["per_op"]) <= {"solve", "cached"}
+
+        server = report["server"]
+        assert server["scraped"] is True
+        delta = server["delta"]
+        assert delta["repro_service_http_requests_total"] >= 10
+        # Fixed-seed replays hit the cache after the first miss.
+        assert delta["repro_service_cache_hit_total"] >= 1
+        assert 0.0 < server["cache_hit_rate"] <= 1.0
+        healthz_cache = server["healthz_cache"]
+        assert healthz_cache["hits"] >= 1
+        assert 0.0 <= healthz_cache["hit_rate"] <= 1.0
+
+        # Report is a JSON document and renders without error.
+        assert json.loads(json.dumps(report)) == report
+        text = render_report(report)
+        assert "cache hit-rate" in text
+        assert "no SLOs asserted" in text
+
+    def test_jobs_scenario_round_trips(self, served):
+        config = LoadTestConfig(
+            base_url=served,
+            concurrency=1,
+            duration_s=60.0,
+            total_requests=2,
+            mix={"jobs": 1},
+            num_sensors=12,
+            seed=6,
+        )
+        report = run_loadtest(config)
+        assert report["requests"] == 2
+        assert report["errors"] == 0
+        assert report["server"]["delta"]["repro_service_jobs_submitted_total"] >= 2
+
+    def test_impossible_slo_fails_the_run(self, served):
+        config = LoadTestConfig(
+            base_url=served,
+            concurrency=1,
+            duration_s=60.0,
+            total_requests=2,
+            mix={"cached": 1},
+            num_sensors=12,
+            slo_p95_ms=0.001,  # nothing real finishes in a microsecond
+        )
+        report = run_loadtest(config)
+        assert report["slo"]["passed"] is False
+        assert any("p95" in v for v in report["slo"]["violations"])
+        assert "SLO verdict: FAIL" in render_report(report)
+
+    def test_error_rate_slo(self, served):
+        # An unknown algorithm is a 400 on every request: error rate 1.0.
+        config = LoadTestConfig(
+            base_url=served,
+            concurrency=1,
+            duration_s=60.0,
+            total_requests=2,
+            mix={"solve": 1},
+            algorithm="No_Such_Algorithm",
+            slo_error_rate=0.5,
+        )
+        report = run_loadtest(config)
+        assert report["error_rate"] == 1.0
+        assert report["slo"]["passed"] is False
+        assert report["error_samples"]  # samples captured for debugging
+        assert report["status_counts"].get("400") == 2
+
+    def test_unreachable_service_fails_error_slo(self):
+        config = LoadTestConfig(
+            base_url="http://127.0.0.1:1",  # reserved port: connect refused
+            concurrency=1,
+            duration_s=2.0,
+            total_requests=1,
+            mix={"solve": 1},
+            request_timeout=1.0,
+            slo_error_rate=0.0,
+        )
+        report = run_loadtest(config)
+        assert report["error_rate"] == 1.0
+        assert report["slo"]["passed"] is False
+        assert report["server"]["scraped"] is False
+        assert "not scraped" in render_report(report) or "unavailable" in render_report(report)

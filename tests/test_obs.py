@@ -59,9 +59,10 @@ def test_timer_stats_known_data():
     assert stats.min == pytest.approx(0.1)
     assert stats.max == pytest.approx(0.5)
     assert stats.mean == pytest.approx(0.3)
-    # Nearest-rank over [0.1..0.5]: p50 -> 3rd value, p95 -> 5th value.
+    # Nearest-rank over [0.1..0.5]: p50 -> 3rd value, p95/p99 -> 5th value.
     assert stats.p50 == pytest.approx(0.3)
     assert stats.p95 == pytest.approx(0.5)
+    assert stats.p99 == pytest.approx(0.5)
 
 
 def test_timer_stats_unobserved_is_zeros():
@@ -69,6 +70,18 @@ def test_timer_stats_unobserved_is_zeros():
     assert stats.count == 0
     assert stats.total == stats.min == stats.max == 0.0
     assert stats.as_dict()["p95_s"] == 0.0
+    assert stats.as_dict()["p99_s"] == 0.0
+
+
+def test_timer_stats_p99_needs_a_long_tail():
+    reg = MetricsRegistry()
+    for _ in range(49):
+        reg.observe("t", 0.01)
+    reg.observe("t", 1.0)
+    stats = reg.timer_stats("t")
+    # Nearest rank over 50 samples: p95 -> 48th (0.01), p99 -> 50th (1.0).
+    assert stats.p95 == pytest.approx(0.01)
+    assert stats.p99 == pytest.approx(1.0)
 
 
 def test_percentile_nearest_rank():
@@ -78,6 +91,26 @@ def test_percentile_nearest_rank():
     assert _percentile(values, 0.75) == 3.0
     assert _percentile(values, 1.0) == 4.0
     assert _percentile([], 0.5) == 0.0
+
+
+def test_percentile_empty_guard_any_quantile():
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert _percentile([], q) == 0.0
+
+
+def test_percentile_single_sample_is_every_quantile():
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert _percentile([7.0], q) == 7.0
+
+
+def test_percentile_two_samples():
+    values = [1.0, 2.0]
+    # ceil(q*2)-1: q<=0.5 -> first sample, q>0.5 -> second.
+    assert _percentile(values, 0.0) == 1.0
+    assert _percentile(values, 0.5) == 1.0
+    assert _percentile(values, 0.51) == 2.0
+    assert _percentile(values, 0.95) == 2.0
+    assert _percentile(values, 1.0) == 2.0
 
 
 def test_snapshot_shape_and_reset():

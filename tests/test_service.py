@@ -117,6 +117,9 @@ class TestEndpoints:
         assert doc["status"] == "ok"
         assert doc["queue"]["max_queue"] >= 1
         assert doc["cache"]["max_entries"] == 64
+        # Cache effectiveness is part of the liveness document.
+        for field in ("hits", "misses", "hit_rate"):
+            assert field in doc["cache"]
 
     def test_algorithms_catalogue(self, served):
         port, _ = served
@@ -718,6 +721,25 @@ class TestCache:
         cache = ResultCache(max_entries=0, registry=MetricsRegistry())
         cache.put("x", {"v": 1})
         assert cache.get("x") is None
+
+    def test_stats_report_cumulative_hits_misses_and_rate(self):
+        cache = ResultCache(max_entries=4, registry=MetricsRegistry())
+        assert cache.stats() == {
+            "entries": 0,
+            "max_entries": 4,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+        }
+        cache.get("x")  # miss
+        cache.put("x", {"v": 1})
+        cache.get("x")  # hit
+        cache.get("x")  # hit
+        cache.get("y")  # miss
+        stats = cache.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 2
+        assert stats["hit_rate"] == pytest.approx(0.5)
 
     def test_key_is_field_order_independent(self):
         a = solve_cache_key({"num_sensors": 10, "sink_speed": 5.0}, "A", 1)

@@ -195,6 +195,7 @@ def _golden_snapshot():
                 "mean_s": 0.005,
                 "p50_s": 0.004,
                 "p95_s": 0.009,
+                "p99_s": 0.015,
             },
             "matching.engine[scipy]": {
                 "count": 4,
@@ -204,6 +205,7 @@ def _golden_snapshot():
                 "mean_s": 0.3125,
                 "p50_s": 0.25,
                 "p95_s": 0.5,
+                "p99_s": 0.5,
             },
         },
     }
@@ -224,6 +226,30 @@ def test_prometheus_output_is_deterministic():
 def test_prometheus_empty_snapshot():
     assert render_prometheus({"counters": {}, "gauges": {}, "timers": {}}) == ""
     assert render_prometheus({}) == ""
+
+
+def test_prometheus_empty_registry_snapshot():
+    # A live-but-unused registry renders as the empty exposition too.
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+def test_prometheus_counters_only_registry():
+    reg = MetricsRegistry()
+    reg.inc("loadtest.requests", 5)
+    text = render_prometheus(reg.snapshot())
+    assert text == (
+        "# HELP repro_loadtest_requests_total repro registry counter "
+        "'loadtest.requests'\n"
+        "# TYPE repro_loadtest_requests_total counter\n"
+        "repro_loadtest_requests_total 5\n"
+    )
+
+
+def test_prometheus_timer_p99_quantile():
+    reg = MetricsRegistry()
+    reg.observe("solve", 0.25)
+    text = render_prometheus(reg.snapshot())
+    assert 'repro_solve_seconds{quantile="0.99"} 0.25' in text
 
 
 def test_prometheus_label_escaping():
