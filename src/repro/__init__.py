@@ -24,7 +24,10 @@ The package provides:
 * a verification subsystem — solution certificates with named
   constraint checks and optimality bounds, a differential fuzzer with
   greedy shrinking, and a replayable failure corpus
-  (:mod:`repro.verify`; ``python -m repro verify`` / ``fuzz``).
+  (:mod:`repro.verify`; ``python -m repro verify`` / ``fuzz``);
+* sink-path design — 2D-plane deployments, plane-sweep serpentine
+  tours, tour-length-bounded multi-sink scheduling
+  (:mod:`repro.planning`; ``python -m repro plan``).
 
 Quickstart
 ----------
@@ -57,6 +60,7 @@ from repro.network import (
     density_speed_profile,
 )
 from repro.online import online_appro, online_maxmatch, run_online
+from repro.planning import PlannerConfig, PlanningError, SinkPlan, plan_scenario
 from repro.sim import (
     PAPER_DEFAULTS,
     Scenario,
@@ -104,6 +108,11 @@ __all__ = [
     "get_algorithm",
     "TourResult",
     "SimulationResult",
+    # planning
+    "PlannerConfig",
+    "PlanningError",
+    "SinkPlan",
+    "plan_scenario",
     # verification
     "Certificate",
     "certify",

@@ -24,6 +24,14 @@ Subcommands:
 
       python -m repro coverage --sensors 300 --seed 7
 
+* ``plan`` — design a sink tour over a 2D field before solving: ASCII
+  field map plus a deterministic JSON plan document (see
+  ``docs/PLANNING.md``; every scenario command also accepts
+  ``--planner`` to solve on a designed tour)::
+
+      python -m repro plan --sensors 60 --field-width 1200 --field-height 300
+      python -m repro plan --planner multi_sink --sinks 3 --budget 2000 --json plan.json
+
 * ``serve`` — run the HTTP planning service (see ``docs/SERVICE.md``);
   JSON access logs go to stderr (or ``--access-log PATH``) and slow
   requests can persist solver traces::
@@ -89,6 +97,57 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=None,
         help="use the fixed-power special case with this power in watts",
+    )
+    parser.add_argument(
+        "--field-width",
+        type=float,
+        default=None,
+        metavar="METRES",
+        help="field width / path length L (default: the paper's 10,000 m)",
+    )
+    parser.add_argument(
+        "--field-height",
+        type=float,
+        default=None,
+        metavar="METRES",
+        help="maximum lateral sensor offset from the path axis "
+        "(default: the paper's 180 m; the field is 2x this tall)",
+    )
+    parser.add_argument(
+        "--planner",
+        type=str,
+        choices=("fixed_line", "plane_sweep", "multi_sink"),
+        default=None,
+        help="design the sink tour before solving (default: the paper's "
+        "fixed straight line; see docs/PLANNING.md)",
+    )
+    parser.add_argument(
+        "--deployment",
+        type=str,
+        choices=("uniform", "clustered"),
+        default="uniform",
+        help="2D deployment the planner plans over (with --planner)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="METRES",
+        help="per-sink tour length bound for the planner",
+    )
+    parser.add_argument(
+        "--sinks",
+        type=int,
+        default=2,
+        metavar="K",
+        help="initial sink count for --planner multi_sink (default: 2)",
+    )
+    parser.add_argument(
+        "--spacing",
+        type=float,
+        default=None,
+        metavar="METRES",
+        help="target sweep-line spacing (default: transmission range R)",
     )
 
 
@@ -177,6 +236,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     coverage = sub.add_parser("coverage", help="deployment coverage diagnostics")
     _add_scenario_args(coverage)
+
+    plan = sub.add_parser(
+        "plan",
+        help="design a sink tour over a 2D field (ASCII map + JSON document)",
+    )
+    _add_scenario_args(plan)
+    plan.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the deterministic plan document here ('-' for stdout, "
+        "suppressing the map)",
+    )
+    plan.add_argument(
+        "--cols",
+        type=int,
+        default=72,
+        help="ASCII map width in characters (default: 72)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the HTTP planning service (POST /v1/solve, ...)"
@@ -457,15 +536,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_scenario(args: argparse.Namespace):
+def _build_scenario(args: argparse.Namespace, default_planner: Optional[str] = None):
     from repro.sim.scenario import ScenarioConfig
 
-    config = ScenarioConfig(
+    kwargs = dict(
         num_sensors=args.sensors,
         sink_speed=args.speed,
         slot_duration=args.tau,
         fixed_power=args.fixed_power,
     )
+    if getattr(args, "field_width", None) is not None:
+        kwargs["path_length"] = args.field_width
+    if getattr(args, "field_height", None) is not None:
+        kwargs["max_offset"] = args.field_height
+    planner_kind = getattr(args, "planner", None) or default_planner
+    if planner_kind is not None:
+        from repro.planning import PlannerConfig
+
+        kwargs["planner"] = PlannerConfig(
+            kind=planner_kind,
+            deployment=getattr(args, "deployment", "uniform"),
+            tour_length_budget=getattr(args, "budget", None),
+            sweep_spacing=getattr(args, "spacing", None),
+            num_sinks=getattr(args, "sinks", 2),
+            max_sinks=max(16, getattr(args, "sinks", 2)),
+        )
+    config = ScenarioConfig(**kwargs)
     return config.build(seed=args.seed)
 
 
@@ -651,6 +747,43 @@ def _run_coverage(args: argparse.Namespace) -> int:
     )
     dense = report.is_densely_deployed(scenario.gamma)
     print(f"dense-deployment premise (gamma={scenario.gamma}): {'holds' if dense else 'VIOLATED'}")
+    return 0
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.planning import PlanningError, plan_document, render_field_map
+
+    try:
+        scenario = _build_scenario(args, default_planner="plane_sweep")
+    except PlanningError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 2
+    plan = scenario.plan
+    positions = scenario.network.positions
+    document = plan_document(
+        plan, positions, scenario.config.to_dict(), scenario.seed
+    )
+    # sort_keys + fixed indent: byte-identical output across runs at the
+    # same seed (the CI plan-smoke job diffs two invocations).
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.json == "-":
+        sys.stdout.write(text)
+        return 0
+    print(
+        render_field_map(
+            plan,
+            positions,
+            scenario.config.path_length,
+            scenario.config.max_offset,
+            cols=args.cols,
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[plan document written to {args.json}]")
     return 0
 
 
@@ -864,6 +997,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_profile(args)
     if args.command == "coverage":
         return _run_coverage(args)
+    if args.command == "plan":
+        return _run_plan(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "bench":

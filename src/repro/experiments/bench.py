@@ -39,6 +39,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry, use_registry
+from repro.planning import PlannerConfig
 from repro.sim.algorithms import ALGORITHMS, get_algorithm, requires_fixed_power
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
@@ -60,6 +61,25 @@ FULL_GRID: Tuple[Tuple[int, float], ...] = ((100, 10_000.0), (300, 10_000.0))
 
 #: Power pinned for the MaxMatch family (the paper's Section VI value).
 FIXED_POWER = 0.3
+
+#: Planner cells: (planner kind, num_sensors, field width).  These run
+#: the full plan → solve pipeline on a 2D field, so the compare gate
+#: covers planning work (``planner.*`` counters, ``plan_s`` phase).
+PLANNER_QUICK_GRID: Tuple[Tuple[str, int, float], ...] = (
+    ("plane_sweep", 30, 1500.0),
+    ("multi_sink", 30, 1500.0),
+)
+PLANNER_FULL_GRID: Tuple[Tuple[str, int, float], ...] = (
+    ("plane_sweep", 100, 3_000.0),
+    ("multi_sink", 100, 3_000.0),
+)
+#: Field half-height and sink speed of the planner cells.  A taller
+#: field than the paper's 180 m makes the serpentine non-trivial; the
+#: faster sink keeps the designed tour's slot count bench-friendly.
+PLANNER_MAX_OFFSET = 300.0
+PLANNER_SINK_SPEED = 10.0
+#: Algorithm solved on the designed tours (the paper's main offline one).
+PLANNER_ALGORITHM = "Offline_Appro"
 
 
 def _git(*args: str) -> Optional[str]:
@@ -94,6 +114,57 @@ def git_provenance() -> Dict[str, object]:
     }
 
 
+def _bench_cell(
+    name: str,
+    config: ScenarioConfig,
+    seed: int,
+    repeat: int,
+    extra_phases: Sequence[str] = (),
+) -> Dict[str, object]:
+    """Run one (algorithm, config) cell ``repeat`` times; best-of entry.
+
+    ``extra_phases`` names registry timers (e.g. ``planner.plan``)
+    promoted into the entry's ``profile`` block as ``<stem>_s`` phases
+    so the compare gate grades them like any other wall metric.
+    """
+    algorithm = PLANNER_ALGORITHM if name.startswith("Planner[") else name
+    runs: List[Tuple[float, Dict[str, object], object, Dict[str, float]]] = []
+    for _ in range(repeat):
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            scenario = config.build(seed=seed)
+            result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
+        wall_s = time.perf_counter() - t0
+        phases = {
+            timer.rsplit(".", 1)[-1] + "_s": registry.timer_stats(timer).total
+            for timer in extra_phases
+        }
+        runs.append((wall_s, registry.snapshot(), result, phases))
+    walls = sorted(wall for wall, _, _, _ in runs)
+    best_wall, snapshot, result, phases = min(runs, key=lambda run: run[0])
+    entry: Dict[str, object] = {
+        "algorithm": name,
+        "num_sensors": config.num_sensors,
+        "path_length": config.path_length,
+        "fixed_power": config.fixed_power,
+        "seed": seed,
+        "wall_s": best_wall,
+        "collected_megabits": float(result.collected_megabits),
+        "profile": {**{k: float(v) for k, v in result.profile.items()}, **phases},
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+    }
+    if repeat > 1:
+        entry["wall_stats"] = {
+            "repeats": repeat,
+            "min_s": walls[0],
+            "median_s": statistics.median(walls),
+            "max_s": walls[-1],
+        }
+    return entry
+
+
 def run_bench(
     quick: bool = False,
     seed: int = 7,
@@ -101,6 +172,7 @@ def run_bench(
     algorithms: Optional[Sequence[str]] = None,
     repeat: int = 1,
     label: Optional[str] = None,
+    planner_grid: Optional[Sequence[Tuple[str, int, float]]] = None,
 ) -> Dict[str, object]:
     """Run the benchmark grid; returns the JSON-ready document.
 
@@ -111,11 +183,20 @@ def run_bench(
     ``wall_stats`` block records min/median/max across repeats (solver
     counters are deterministic, so they come from the fastest repeat).
     ``label`` is stamped into the document's provenance block.
+
+    Planner cells (``Planner[plane_sweep]`` / ``Planner[multi_sink]``)
+    run the plan → solve pipeline over a 2D field; they join the
+    default grids automatically and can be overridden (or silenced with
+    ``()``) via ``planner_grid``.  When ``grid`` or ``algorithms`` is
+    overridden, planner cells only run if ``planner_grid`` is given —
+    shrunk test runs stay shrunk.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     cells = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
     names = list(algorithms) if algorithms is not None else sorted(ALGORITHMS)
+    if planner_grid is None and grid is None and algorithms is None:
+        planner_grid = PLANNER_QUICK_GRID if quick else PLANNER_FULL_GRID
     entries: List[Dict[str, object]] = []
     for num_sensors, path_length in cells:
         for name in names:
@@ -125,37 +206,24 @@ def run_bench(
                 path_length=path_length,
                 fixed_power=fixed_power,
             )
-            runs: List[Tuple[float, Dict[str, object], object]] = []
-            for _ in range(repeat):
-                registry = MetricsRegistry()
-                t0 = time.perf_counter()
-                with use_registry(registry):
-                    scenario = config.build(seed=seed)
-                    result = run_tour(scenario, get_algorithm(name), mutate=False)
-                wall_s = time.perf_counter() - t0
-                runs.append((wall_s, registry.snapshot(), result))
-            walls = sorted(wall for wall, _, _ in runs)
-            best_wall, snapshot, result = min(runs, key=lambda run: run[0])
-            entry: Dict[str, object] = {
-                "algorithm": name,
-                "num_sensors": num_sensors,
-                "path_length": path_length,
-                "fixed_power": fixed_power,
-                "seed": seed,
-                "wall_s": best_wall,
-                "collected_megabits": float(result.collected_megabits),
-                "profile": {k: float(v) for k, v in result.profile.items()},
-                "counters": snapshot["counters"],
-                "timers": snapshot["timers"],
-            }
-            if repeat > 1:
-                entry["wall_stats"] = {
-                    "repeats": repeat,
-                    "min_s": walls[0],
-                    "median_s": statistics.median(walls),
-                    "max_s": walls[-1],
-                }
-            entries.append(entry)
+            entries.append(_bench_cell(name, config, seed, repeat))
+    for kind, num_sensors, path_length in planner_grid or ():
+        config = ScenarioConfig(
+            num_sensors=num_sensors,
+            path_length=path_length,
+            max_offset=PLANNER_MAX_OFFSET,
+            sink_speed=PLANNER_SINK_SPEED,
+            planner=PlannerConfig(kind=kind),
+        )
+        entries.append(
+            _bench_cell(
+                f"Planner[{kind}]",
+                config,
+                seed,
+                repeat,
+                extra_phases=("planner.plan",),
+            )
+        )
     return {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,

@@ -44,7 +44,10 @@ COMPARE_FORMAT = "repro.bench_compare"
 COMPARE_VERSION = 1
 
 #: Profile phases compared as wall-clock metrics (plus ``wall_s``).
+#: ``plan_s`` only appears in planner cells; unmatched phases are
+#: skipped per cell, so plain solver cells are unaffected.
 WALL_PHASES: Tuple[str, ...] = (
+    "plan_s",
     "instance_build_s",
     "solve_s",
     "verify_s",

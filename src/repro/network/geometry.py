@@ -143,10 +143,20 @@ class PiecewiseLinearPath:
         pts = np.asarray(waypoints, dtype=np.float64)
         if pts.ndim != 2 or pts.shape[0] < 2 or pts.shape[1] != 2:
             raise ValueError("waypoints must be an (m>=2, 2) sequence of points")
+        # Collapse zero-length segments (consecutive duplicate vertices):
+        # they would poison arc-length lookup with 0/0 divisions, and
+        # planners legitimately emit them (e.g. a degenerate sweep column
+        # or a tour stitched from tours that share an endpoint).
+        keep = np.concatenate(
+            [[True], np.hypot(*(np.diff(pts, axis=0).T)) > 0.0]
+        )
+        pts = pts[keep]
+        if pts.shape[0] < 2:
+            raise ValueError(
+                "waypoints must contain at least 2 distinct consecutive points"
+            )
         seg = np.diff(pts, axis=0)
         seg_len = np.hypot(seg[:, 0], seg[:, 1])
-        if np.any(seg_len <= 0):
-            raise ValueError("consecutive waypoints must be distinct")
         self._pts = pts
         self._seg = seg
         self._seg_len = seg_len

@@ -1,0 +1,139 @@
+"""Declarative planner configuration.
+
+The planner block rides inside :class:`repro.sim.scenario.ScenarioConfig`
+(``planner:``), so it follows the same rules: all fields are plain JSON
+scalars, the dataclass is frozen/hashable, and ``to_dict``/``from_dict``
+round-trip exactly.  The block is *optional* — configs without one keep
+today's fixed straight-line behavior and their historical cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Mapping, Optional
+
+from repro.utils.validation import UnknownFieldError, check_positive
+
+__all__ = ["PlannerConfig", "PLANNER_KINDS", "DEPLOYMENT_KINDS"]
+
+#: Planner kinds this package implements (see ``docs/PLANNING.md``).
+PLANNER_KINDS = ("fixed_line", "plane_sweep", "multi_sink")
+
+#: 2D deployment generators a planner scenario can request.
+DEPLOYMENT_KINDS = ("uniform", "clustered")
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """How the sink trajectory is *designed* before solving.
+
+    Parameters
+    ----------
+    kind:
+        ``"fixed_line"`` (the paper's straight tour, baseline),
+        ``"plane_sweep"`` (serpentine vertical sweep, after Dash 2019) or
+        ``"multi_sink"`` (partition-and-schedule, after Almi'ani &
+        Alqaralleh).
+    deployment:
+        ``"uniform"`` or ``"clustered"`` — the 2D field deployment the
+        planner plans over.  The field is the rectangle
+        ``[0, path_length] x [-max_offset, +max_offset]`` of the owning
+        scenario config.
+    num_clusters / cluster_std:
+        Knobs of the clustered deployment (ignored for uniform).
+    tour_length_budget:
+        Upper bound in metres on each sink's tour length (``None`` →
+        unbounded).  Plane sweep thins sweep lines down to the coverage
+        minimum to meet it; multi-sink splits clusters until every tour
+        fits.
+    sweep_spacing:
+        Target spacing between sweep lines in metres; ``None`` uses the
+        transmission range ``R``.  Coverage requires spacing ≤ 2R and the
+        planner enforces it.
+    num_sinks:
+        Initial number of sinks (tours) for the multi-sink planner.
+    max_sinks:
+        Hard cap on sinks the multi-sink planner may split up to while
+        chasing ``tour_length_budget``.
+    """
+
+    kind: str = "fixed_line"
+    deployment: str = "uniform"
+    num_clusters: int = 5
+    cluster_std: float = 150.0
+    tour_length_budget: Optional[float] = None
+    sweep_spacing: Optional[float] = None
+    num_sinks: int = 2
+    max_sinks: int = 16
+
+    def __post_init__(self) -> None:
+        if self.kind not in PLANNER_KINDS:
+            raise ValueError(
+                f"planner kind must be one of {'|'.join(PLANNER_KINDS)}, got {self.kind!r}"
+            )
+        if self.deployment not in DEPLOYMENT_KINDS:
+            raise ValueError(
+                f"planner deployment must be one of {'|'.join(DEPLOYMENT_KINDS)}, "
+                f"got {self.deployment!r}"
+            )
+        if self.num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {self.num_clusters}")
+        check_positive(self.cluster_std, "cluster_std")
+        if self.tour_length_budget is not None:
+            check_positive(self.tour_length_budget, "tour_length_budget")
+        if self.sweep_spacing is not None:
+            check_positive(self.sweep_spacing, "sweep_spacing")
+        if self.num_sinks < 1:
+            raise ValueError(f"num_sinks must be >= 1, got {self.num_sinks}")
+        if self.max_sinks < self.num_sinks:
+            raise ValueError(
+                f"max_sinks must be >= num_sinks, got {self.max_sinks} < {self.num_sinks}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "PlannerConfig":
+        """Functional update (sugar over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field (all values are JSON scalars)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping) -> "PlannerConfig":
+        """Inverse of :meth:`to_dict`, with field validation.
+
+        Unknown keys raise :class:`repro.utils.validation.UnknownFieldError`
+        naming each offending key; value types are checked before
+        ``__post_init__``'s range checks run.
+        """
+        if not isinstance(doc, Mapping):
+            raise ValueError(
+                f"PlannerConfig document must be a mapping, got {type(doc).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise UnknownFieldError("PlannerConfig", unknown, known)
+        kwargs = {}
+        for name, value in doc.items():
+            if name in ("kind", "deployment"):
+                if not isinstance(value, str):
+                    raise ValueError(f"{name} must be a string, got {value!r}")
+                kwargs[name] = value
+            elif name in ("num_clusters", "num_sinks", "max_sinks"):
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(f"{name} must be an integer, got {value!r}")
+                kwargs[name] = value
+            elif name in ("tour_length_budget", "sweep_spacing"):
+                if value is None:
+                    kwargs[name] = None
+                elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"{name} must be a number or null, got {value!r}")
+                else:
+                    kwargs[name] = float(value)
+            else:  # cluster_std — plain float knob
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"{name} must be a number, got {value!r}")
+                kwargs[name] = float(value)
+        return cls(**kwargs)

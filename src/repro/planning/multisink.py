@@ -1,0 +1,201 @@
+"""Multi-sink partition-and-schedule planning.
+
+After Almi'ani & Alqaralleh, "Mobile Elements Scheduling for Periodic
+Sensor Applications" (PAPERS.md): partition the sensors into ``k``
+clusters, give each mobile sink one tour over its cluster, and bound
+every tour's length.  When a cluster's coverage-minimal tour exceeds the
+per-sink bound, the planner *splits* — re-partitions with ``k + 1``
+sinks — up to ``max_sinks``, then fails with
+:class:`~repro.planning.base.PlanningError`.
+
+The partition step is Lloyd's k-means made fully deterministic: centres
+initialise at x-quantiles of the sensor cloud, iterations are a fixed
+count, and ties in the nearest-centre assignment break toward the lowest
+index.  Determinism matters — the plan participates in the service's
+content-addressed cache key, so the same (config, seed) must replan to
+the byte-identical tour set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.geometry import PiecewiseLinearPath
+from repro.obs import inc, set_gauge
+
+from .base import PlanningError, SinkPlan, polyline_length, stitch_tours
+from .config import PlannerConfig
+
+__all__ = ["plan_multi_sink", "deterministic_kmeans"]
+
+#: Fixed Lloyd iteration count — enough to converge on the cluster
+#: scales we plan over, small enough to keep planning off the profile.
+_KMEANS_ITERS = 20
+
+
+def deterministic_kmeans(positions: np.ndarray, k: int) -> np.ndarray:
+    """Assign each position to one of ``k`` clusters, deterministically.
+
+    Centres start at the x-quantiles of the cloud (stable under
+    permutation of equal inputs), run a fixed number of Lloyd
+    iterations, and break nearest-centre ties toward the lowest cluster
+    index.  Returns an ``(n,)`` int assignment array.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = len(positions)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    k = min(k, n)
+    order = np.argsort(positions[:, 0], kind="stable")
+    quantile_idx = ((np.arange(k) + 0.5) * n / k).astype(np.int64).clip(0, n - 1)
+    centres = positions[order[quantile_idx]].copy()
+    assign = np.zeros(n, dtype=np.int64)
+    for iteration in range(_KMEANS_ITERS):
+        d2 = ((positions[:, None, :] - centres[None, :, :]) ** 2).sum(axis=2)
+        new_assign = np.argmin(d2, axis=1)  # ties -> lowest index
+        if iteration > 0 and np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+        for c in range(k):
+            members = positions[assign == c]
+            if len(members):
+                centres[c] = members.mean(axis=0)
+    return assign
+
+
+def _cluster_tour(
+    pts: np.ndarray,
+    transmission_range: float,
+    spacing_target: float,
+    budget: Optional[float],
+) -> Optional[np.ndarray]:
+    """Coverage-complete serpentine tour over one cluster's bounding box.
+
+    Returns the waypoint array, or ``None`` when even the
+    coverage-minimal tour exceeds ``budget`` (caller splits the cluster).
+    A degenerate cluster (single point / zero-area box) yields a
+    single-waypoint "tour": the sink parks at the cluster.
+    """
+    R = transmission_range
+    xmin, ymin = pts.min(axis=0)
+    xmax, ymax = pts.max(axis=0)
+    width = xmax - xmin
+    if width == 0.0 and ymin == ymax:
+        return np.array([[xmin, ymin]])
+    min_lines = max(1, math.ceil(width / (2.0 * R)))
+    want_lines = max(min_lines, math.ceil(width / spacing_target)) if width > 0 else 1
+
+    def waypoints_for(n_lines: int) -> np.ndarray:
+        spacing = width / n_lines if n_lines else 0.0
+        xs = xmin + (np.arange(n_lines) + 0.5) * spacing if width > 0 else np.array([xmin])
+        out = []
+        for i, x in enumerate(xs):
+            lo, hi = (ymin, ymax) if i % 2 == 0 else (ymax, ymin)
+            out.append((x, lo))
+            out.append((x, hi))
+        return np.asarray(out, dtype=np.float64)
+
+    n_lines = want_lines
+    if budget is not None:
+        while n_lines > min_lines and polyline_length(waypoints_for(n_lines)) > budget:
+            n_lines -= 1
+        if polyline_length(waypoints_for(n_lines)) > budget:
+            return None
+    return waypoints_for(n_lines)
+
+
+def plan_multi_sink(
+    config: PlannerConfig,
+    positions: np.ndarray,
+    field_width: float,
+    field_half_height: float,
+    transmission_range: float,
+) -> SinkPlan:
+    """Partition sensors and schedule one length-bounded tour per sink.
+
+    Starts from ``config.num_sinks`` clusters and splits (``k += 1``,
+    full re-partition) whenever some cluster's coverage-minimal tour
+    exceeds ``config.tour_length_budget``, up to ``config.max_sinks``.
+
+    Raises
+    ------
+    PlanningError
+        When no sensors exist to partition, or ``max_sinks`` clusters
+        still cannot meet the per-sink budget.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if len(positions) == 0:
+        raise PlanningError("multi_sink planner needs at least one sensor to partition")
+    R = transmission_range
+    spacing_target = config.sweep_spacing if config.sweep_spacing is not None else R
+    if spacing_target > 2.0 * R:
+        raise PlanningError(
+            f"sweep_spacing {spacing_target} m exceeds coverage limit 2R = {2 * R} m"
+        )
+    budget = config.tour_length_budget
+
+    splits = 0
+    k = min(config.num_sinks, len(positions))
+    while True:
+        assign = deterministic_kmeans(positions, k)
+        tours: List[Tuple[int, np.ndarray]] = []
+        feasible = True
+        for c in range(k):
+            member_pts = positions[assign == c]
+            if len(member_pts) == 0:
+                continue
+            tour = _cluster_tour(member_pts, R, spacing_target, budget)
+            if tour is None:
+                feasible = False
+                break
+            tours.append((c, tour))
+        if feasible:
+            break
+        if k >= min(config.max_sinks, len(positions)):
+            raise PlanningError(
+                f"multi_sink planner cannot meet tour_length_budget "
+                f"{budget:.1f} m with max_sinks = {config.max_sinks}"
+            )
+        k += 1
+        splits += 1
+
+    # Order tours by their leading x so the stitched drive is a stable
+    # left-to-right traversal, then reindex the assignment to match.
+    tours.sort(key=lambda item: (float(item[1][:, 0].min()), item[0]))
+    remap = {old: new for new, (old, _) in enumerate(tours)}
+    assignment = np.array([remap[int(c)] for c in assign], dtype=np.int64)
+    waypoint_arrays = tuple(t for _, t in tours)
+    lengths = tuple(polyline_length(t) for t in waypoint_arrays)
+    stacked = np.vstack(waypoint_arrays)
+    if len(np.unique(stacked, axis=0)) < 2:
+        # Every tour parks at the same point (n == 1, or coincident
+        # sensors): drive a short segment through it so the stitched
+        # path still has positive arc length.
+        x, y = stacked[0]
+        path = PiecewiseLinearPath([(x - R / 2.0, y), (x + R / 2.0, y)])
+    else:
+        path = stitch_tours(waypoint_arrays)
+
+    inc("planner.plans")
+    inc("planner.multisink.splits", splits)
+    inc("planner.sweep.segments", sum(max(0, len(t) - 1) for t in waypoint_arrays))
+    set_gauge("planner.tour_length_m", round(float(sum(lengths)), 6))
+    set_gauge("planner.sinks", len(waypoint_arrays))
+
+    return SinkPlan(
+        kind="multi_sink",
+        path=path,
+        tours=waypoint_arrays,
+        tour_lengths=lengths,
+        assignment=assignment,
+        meta={
+            "num_sinks": float(len(waypoint_arrays)),
+            "splits": float(splits),
+            "requested_sinks": float(config.num_sinks),
+        },
+    )

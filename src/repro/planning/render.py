@@ -1,0 +1,93 @@
+"""Rendering for designed tours: ASCII field maps and plan documents.
+
+Everything here is deterministic — no timestamps, no environment
+lookups — so ``repro plan`` output is byte-identical across repeated
+runs at the same seed (the CI ``plan-smoke`` job diffs two invocations).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import SinkPlan
+
+__all__ = ["render_field_map", "plan_document"]
+
+#: Characters used for per-sink sensor markers (cycled past 10 sinks).
+_SINK_MARKS = "0123456789"
+
+
+def render_field_map(
+    plan: SinkPlan,
+    positions: np.ndarray,
+    field_width: float,
+    field_half_height: float,
+    *,
+    cols: int = 72,
+    rows: Optional[int] = None,
+) -> str:
+    """ASCII map of the field: ``#`` is the sink path, digits are sensors.
+
+    Each sensor is drawn as the index of the sink serving it (cycled
+    through 0–9), or ``*`` when the plan has no sensor assignment.  The
+    map preserves the field's aspect ratio within a bounded row count.
+    """
+    if cols < 8:
+        raise ValueError(f"cols must be >= 8, got {cols}")
+    W = float(field_width)
+    H = float(field_half_height)
+    span_y = 2.0 * H if H > 0 else 1.0
+    if rows is None:
+        rows = max(5, min(21, int(round(cols * span_y / W * 0.5)) | 1))
+    grid = [["." for _ in range(cols)] for _ in range(rows)]
+
+    def cell(x: float, y: float):
+        c = int(np.clip(x / W * (cols - 1), 0, cols - 1)) if W > 0 else 0
+        r = int(np.clip((H - y) / span_y * (rows - 1), 0, rows - 1))
+        return r, c
+
+    arcs = np.linspace(0.0, plan.path.length, 4 * cols * rows)
+    for x, y in np.atleast_2d(plan.path.point_at(arcs)):
+        r, c = cell(float(x), float(y))
+        grid[r][c] = "#"
+    positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    for i, (x, y) in enumerate(positions):
+        r, c = cell(float(x), float(y))
+        if plan.assignment is None:
+            grid[r][c] = "*"
+        else:
+            grid[r][c] = _SINK_MARKS[int(plan.assignment[i]) % len(_SINK_MARKS)]
+
+    border = "+" + "-" * cols + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    legend = (
+        f"field {W:.0f} x {span_y if H > 0 else 0:.0f} m | planner {plan.kind} | "
+        f"{plan.num_sinks} sink(s) | tour {plan.total_tour_length:.0f} m | "
+        f"path {plan.path.length:.0f} m | {len(positions)} sensors"
+    )
+    return "\n".join([border, body, border, legend])
+
+
+def plan_document(
+    plan: SinkPlan,
+    positions: np.ndarray,
+    scenario_doc: dict,
+    seed: Optional[int],
+) -> dict:
+    """JSON-ready plan report: scenario, tours, and sensor coordinates.
+
+    ``scenario_doc`` is ``ScenarioConfig.to_dict()`` passed in as plain
+    data so this module stays below ``repro.sim`` in the import graph.
+    """
+    positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    return {
+        "format": "repro.plan",
+        "seed": seed,
+        "scenario": scenario_doc,
+        "plan": plan.to_dict(),
+        "sensors": [
+            [round(float(x), 6), round(float(y), 6)] for x, y in positions
+        ],
+    }

@@ -1,0 +1,142 @@
+"""Plane-sweep tour construction.
+
+After Dash, "Plane Sweep Algorithms for Data Collection in Wireless
+Sensor Networks using Mobile Sink" (PAPERS.md): sweep a vertical line
+across the rectangular field and have the sink ride the sweep lines in a
+serpentine (boustrophedon) tour.  With line spacing ``s ≤ 2R`` every
+point of the field — hence every sensor — lies within transmission range
+``R`` of some sweep line: its horizontal distance to the nearest line is
+at most ``s/2 ≤ R`` and the lines span the full field height, so the
+closest path point is at most ``s/2`` away.
+
+The tour-length budget is met by *thinning*: fewer sweep lines mean a
+shorter tour but wider spacing, so the planner lowers the line count
+toward the coverage minimum ``ceil(W / 2R)`` and fails with
+:class:`~repro.planning.base.PlanningError` if even that minimal
+coverage-complete tour exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import inc, set_gauge
+
+from .base import PlanningError, SinkPlan, polyline_length, stitch_tours
+from .config import PlannerConfig
+
+__all__ = ["plan_plane_sweep", "sweep_tour_waypoints"]
+
+
+def sweep_tour_waypoints(
+    field_width: float,
+    field_half_height: float,
+    num_lines: int,
+) -> np.ndarray:
+    """Serpentine waypoints for ``num_lines`` vertical sweep lines.
+
+    Lines sit at the centres of ``num_lines`` equal-width columns
+    (``x_i = (i + 0.5) * W / num_lines``), each spanning
+    ``y ∈ [-H, +H]``; consecutive lines are joined by horizontal jogs at
+    alternating field edges.  A zero-height field degenerates to a
+    straight horizontal traverse through the line abscissae.
+    """
+    if num_lines < 1:
+        raise ValueError(f"num_lines must be >= 1, got {num_lines}")
+    spacing = field_width / num_lines
+    xs = (np.arange(num_lines) + 0.5) * spacing
+    h = field_half_height
+    pts = []
+    for i, x in enumerate(xs):
+        if i % 2 == 0:
+            pts.append((x, -h))
+            pts.append((x, +h))
+        else:
+            pts.append((x, +h))
+            pts.append((x, -h))
+    waypoints = np.asarray(pts, dtype=np.float64)
+    if h == 0.0 and num_lines == 1:
+        # Degenerate: a single zero-length column.  Traverse the column
+        # abscissa horizontally so the path still has positive length.
+        waypoints = np.array([[0.0, 0.0], [field_width, 0.0]])
+    return waypoints
+
+
+def plan_plane_sweep(
+    config: PlannerConfig,
+    positions: np.ndarray,
+    field_width: float,
+    field_half_height: float,
+    transmission_range: float,
+) -> SinkPlan:
+    """Design a coverage-complete serpentine tour under a length budget.
+
+    Parameters
+    ----------
+    config:
+        Planner knobs (``sweep_spacing``, ``tour_length_budget``).
+    positions:
+        ``(n, 2)`` sensor coordinates (used for stats; coverage is
+        guaranteed for the whole field, not just the sample).
+    field_width / field_half_height:
+        The field rectangle ``[0, W] x [-H, +H]``.
+    transmission_range:
+        Radio range ``R`` in metres.
+
+    Raises
+    ------
+    PlanningError
+        If the coverage-minimal tour already exceeds the budget.
+    """
+    W, H, R = field_width, field_half_height, transmission_range
+    min_lines = max(1, math.ceil(W / (2.0 * R)))
+    spacing_target = config.sweep_spacing if config.sweep_spacing is not None else R
+    if spacing_target > 2.0 * R:
+        raise PlanningError(
+            f"sweep_spacing {spacing_target} m exceeds coverage limit 2R = {2 * R} m"
+        )
+    want_lines = max(min_lines, math.ceil(W / spacing_target))
+
+    def tour_length(n_lines: int) -> float:
+        spacing = W / n_lines
+        if H == 0.0 and n_lines == 1:
+            return W
+        return n_lines * 2.0 * H + (n_lines - 1) * spacing
+
+    n_lines = want_lines
+    budget = config.tour_length_budget
+    if budget is not None:
+        while n_lines > min_lines and tour_length(n_lines) > budget:
+            n_lines -= 1
+        if tour_length(n_lines) > budget:
+            raise PlanningError(
+                f"coverage-minimal plane-sweep tour needs "
+                f"{tour_length(min_lines):.1f} m but tour_length_budget is "
+                f"{budget:.1f} m (field {W:.0f} x {2 * H:.0f} m, R = {R:.0f} m)"
+            )
+
+    waypoints = sweep_tour_waypoints(W, H, n_lines)
+    path = stitch_tours([waypoints])
+    length = polyline_length(waypoints)
+
+    inc("planner.plans")
+    inc("planner.sweep.segments", max(0, len(waypoints) - 1))
+    set_gauge("planner.tour_length_m", round(length, 6))
+    set_gauge("planner.sinks", 1)
+
+    return SinkPlan(
+        kind="plane_sweep",
+        path=path,
+        tours=(waypoints,),
+        tour_lengths=(length,),
+        assignment=np.zeros(len(positions), dtype=np.int64),
+        meta={
+            "num_lines": float(n_lines),
+            "line_spacing_m": round(W / n_lines, 6),
+            "coverage_min_lines": float(min_lines),
+            "requested_lines": float(want_lines),
+        },
+    )

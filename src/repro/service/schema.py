@@ -24,14 +24,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.planning import PlannerConfig
 from repro.service.cache import solve_cache_key
 from repro.sim.algorithms import requires_fixed_power, resolve_algorithm_name
 from repro.sim.scenario import ScenarioConfig
 
 __all__ = ["RequestError", "SolveRequest", "parse_solve_request"]
 
-#: Top-level request fields the schema understands.
-_REQUEST_FIELDS = ("scenario", "algorithm", "seed", "certify")
+#: Top-level request fields the schema understands.  ``planner`` is
+#: sugar for ``scenario.planner`` — it merges into the scenario config,
+#: so the content-addressed cache key extends through
+#: ``ScenarioConfig.to_dict()`` and planner-less requests keep their
+#: historical keys.
+_REQUEST_FIELDS = ("scenario", "algorithm", "seed", "certify", "planner")
 
 #: Service-side guard against absurd problem sizes (a 400, not a crash).
 DEFAULT_MAX_SENSORS = 20_000
@@ -105,9 +110,10 @@ def parse_solve_request(
     unknown top-level fields, an invalid scenario (unknown field, wrong
     type, out-of-range value — per ``ScenarioConfig.from_dict``),
     ``num_sensors`` beyond ``max_sensors``, a non-integer seed, a
-    non-boolean ``certify`` flag, an unknown algorithm (message lists
-    the sorted choices), or a MaxMatch-family algorithm without
-    ``scenario.fixed_power``.
+    non-boolean ``certify`` flag, an invalid ``planner`` block (or one
+    given both top-level and inside the scenario), an unknown algorithm
+    (message lists the sorted choices), or a MaxMatch-family algorithm
+    without ``scenario.fixed_power``.
     """
     if not isinstance(doc, Mapping):
         raise RequestError(
@@ -131,6 +137,24 @@ def parse_solve_request(
         config = ScenarioConfig.from_dict(scenario_doc)
     except (ValueError, TypeError) as exc:
         raise RequestError(str(exc), field="scenario") from None
+
+    planner_doc = doc.get("planner")
+    if planner_doc is not None:
+        if not isinstance(planner_doc, Mapping):
+            raise RequestError(
+                f"'planner' must be a JSON object, got {type(planner_doc).__name__}",
+                field="planner",
+            )
+        if config.planner is not None:
+            raise RequestError(
+                "planner specified both at top level and inside scenario; pick one",
+                field="planner",
+            )
+        try:
+            config = config.with_(planner=PlannerConfig.from_dict(planner_doc))
+        except (ValueError, TypeError) as exc:
+            raise RequestError(str(exc), field="planner") from None
+
     if config.num_sensors > max_sensors:
         raise RequestError(
             f"num_sensors {config.num_sensors} out of range "

@@ -56,7 +56,9 @@ def solve_payload(payload: dict) -> dict:
     carries a full solution certificate (constraints (1)-(4) with slack
     values, LP bound, ratio guarantee) under ``"certificate"``; the
     already-computed LP bound is reused, so certification adds one
-    constraint sweep, not a second LP solve.
+    constraint sweep, not a second LP solve.  When the scenario config
+    carries a ``planner`` block the response gains a ``"plan"`` summary
+    (kind, per-sink tour lengths, planner meta).
     """
     config = ScenarioConfig.from_dict(payload["scenario"])
     algorithm = payload["algorithm"]
@@ -102,6 +104,22 @@ def solve_payload(payload: dict) -> dict:
         "profile": {k: float(v) for k, v in result.profile.items()},
         WORKER_METRICS_KEY: registry.dump(),
     }
+    if scenario.plan is not None:
+        # Summary only (kind, per-sink tour lengths, planner meta) — the
+        # full waypoint geometry is `repro plan`'s job, not the solve
+        # response's.  Planner-less responses are unchanged.
+        plan_doc = scenario.plan.to_dict()
+        doc["plan"] = {
+            k: plan_doc[k]
+            for k in (
+                "kind",
+                "num_sinks",
+                "path_length_m",
+                "total_tour_length_m",
+                "tour_lengths_m",
+                "meta",
+            )
+        }
     if certificate is not None:
         doc["certificate"] = certificate.to_dict()
     if tracer is not None:

@@ -29,13 +29,18 @@ from repro.core.instance import DataCollectionInstance
 from repro.energy.budget import BudgetPolicy, StoredEnergyBudgetPolicy
 from repro.energy.harvester import SolarHarvester
 from repro.energy.solar import cloudy_profile, sunny_profile
-from repro.network.deployment import uniform_deployment
+from repro.network.deployment import clustered_deployment, uniform_deployment
 from repro.network.geometry import LinearPath
 from repro.network.network import SensorNetwork
 from repro.network.path import SinkTrajectory
 from repro.network.radio import CC2420_LIKE_TABLE, RateTable
+from repro.planning import PlannerConfig, plan_scenario
 from repro.utils.rng import RngStream
-from repro.utils.validation import check_nonnegative, check_positive
+from repro.utils.validation import (
+    UnknownFieldError,
+    check_nonnegative,
+    check_positive,
+)
 
 __all__ = ["ScenarioConfig", "Scenario", "PAPER_DEFAULTS"]
 
@@ -73,6 +78,12 @@ class ScenarioConfig:
     #: paper's ``⌊R/(r_s·τ)⌋``; smaller values trade message overhead
     #: against probe-boundary loss (ablation A4).
     gamma_override: Optional[int] = None
+    #: ``None`` → the paper's fixed straight-line tour (historical
+    #: behavior, historical cache keys).  A :class:`PlannerConfig` (or
+    #: mapping) → the sink trajectory is *designed* over the rectangular
+    #: field ``[0, path_length] x [-max_offset, +max_offset]`` before
+    #: solving; see ``docs/PLANNING.md``.
+    planner: Optional[PlannerConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_sensors < 0:
@@ -92,6 +103,12 @@ class ScenarioConfig:
             check_positive(self.fixed_power, "fixed_power")
         if self.gamma_override is not None and self.gamma_override < 1:
             raise ValueError(f"gamma_override must be >= 1, got {self.gamma_override}")
+        if self.planner is not None and not isinstance(self.planner, PlannerConfig):
+            if not isinstance(self.planner, Mapping):
+                raise ValueError(
+                    f"planner must be a PlannerConfig, mapping or null, got {self.planner!r}"
+                )
+            object.__setattr__(self, "planner", PlannerConfig.from_dict(self.planner))
 
     # ------------------------------------------------------------------
     def rate_table(self) -> RateTable:
@@ -106,35 +123,45 @@ class ScenarioConfig:
 
     def to_dict(self) -> dict:
         """JSON-ready dict of every field (``accumulation_hours`` becomes
-        a 2-element list; everything else is already a JSON scalar)."""
+        a 2-element list; everything else is already a JSON scalar).
+
+        The ``planner`` key is *omitted* when no planner is configured so
+        planner-less configs keep their historical wire shape and
+        content-addressed cache keys.
+        """
         doc = asdict(self)
         doc["accumulation_hours"] = [float(v) for v in self.accumulation_hours]
+        if self.planner is None:
+            del doc["planner"]
         return doc
 
     @classmethod
     def from_dict(cls, doc: Mapping) -> "ScenarioConfig":
         """Inverse of :meth:`to_dict`, with field validation.
 
-        Rejects unknown fields by name (sorted, so error messages are
-        deterministic) and type-checks each value before handing off to
-        ``__post_init__``'s range checks.  Raises :class:`ValueError`
-        with the offending field named, so callers (e.g. the service
-        request schema) can surface precise 400-style errors.
+        Rejects unknown fields with a typed
+        :class:`~repro.utils.validation.UnknownFieldError` naming each
+        offending key (sorted, so error messages are deterministic) and
+        type-checks each value before handing off to ``__post_init__``'s
+        range checks, so callers (e.g. the service request schema) can
+        surface precise 400-style errors.
         """
         if not isinstance(doc, Mapping):
             raise ValueError(
                 f"ScenarioConfig document must be a mapping, got {type(doc).__name__}"
             )
         known = {f.name for f in fields(cls)}
-        unknown = sorted(set(doc) - known)
+        unknown = set(doc) - known
         if unknown:
-            raise ValueError(
-                f"unknown ScenarioConfig field(s): {', '.join(unknown)}; "
-                f"known fields: {', '.join(sorted(known))}"
-            )
+            raise UnknownFieldError("ScenarioConfig", unknown, known)
         kwargs = {}
         for name, value in doc.items():
-            if name in ("num_sensors", "gamma_override"):
+            if name == "planner":
+                if value is None:
+                    kwargs[name] = None
+                else:
+                    kwargs[name] = PlannerConfig.from_dict(value)
+            elif name in ("num_sensors", "gamma_override"):
                 if value is None and name == "gamma_override":
                     kwargs[name] = None
                     continue
@@ -198,13 +225,35 @@ class Scenario:
         stream = RngStream.from_seed(seed)
         self.rate_table = config.rate_table()
 
-        path = LinearPath(config.path_length)
-        positions = uniform_deployment(
-            config.num_sensors,
-            config.path_length,
-            config.max_offset,
-            stream.child("deployment").generator,
-        )
+        deployment_rng = stream.child("deployment").generator
+        if config.planner is not None and config.planner.deployment == "clustered":
+            positions = clustered_deployment(
+                config.num_sensors,
+                config.path_length,
+                config.max_offset,
+                num_clusters=config.planner.num_clusters,
+                cluster_std=config.planner.cluster_std,
+                seed=deployment_rng,
+            )
+        else:
+            positions = uniform_deployment(
+                config.num_sensors,
+                config.path_length,
+                config.max_offset,
+                deployment_rng,
+            )
+        if config.planner is None:
+            self.plan = None
+            path = LinearPath(config.path_length)
+        else:
+            self.plan = plan_scenario(
+                config.planner,
+                positions,
+                config.path_length,
+                config.max_offset,
+                self.rate_table.max_range,
+            )
+            path = self.plan.path
 
         profile = None
         if config.weather == "sunny":

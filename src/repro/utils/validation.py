@@ -12,11 +12,36 @@ from typing import Optional
 import numpy as np
 
 __all__ = [
+    "UnknownFieldError",
     "check_positive",
     "check_nonnegative",
     "check_in_range",
     "check_finite",
 ]
+
+
+class UnknownFieldError(ValueError):
+    """A document contained top-level keys the schema does not define.
+
+    Raised by ``from_dict``-style constructors so callers (the service
+    request parser, the CLI) can distinguish "you sent a field we do not
+    know" from generic value errors and surface the offending names.
+
+    Attributes
+    ----------
+    fields:
+        The unknown field names, sorted (deterministic error text).
+    known:
+        The schema's accepted field names, sorted.
+    """
+
+    def __init__(self, schema: str, unknown, known):
+        self.fields = tuple(sorted(unknown))
+        self.known = tuple(sorted(known))
+        super().__init__(
+            f"unknown {schema} field(s): {', '.join(self.fields)}; "
+            f"known fields: {', '.join(self.known)}"
+        )
 
 
 def check_positive(value: float, name: str) -> float:

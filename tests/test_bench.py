@@ -122,6 +122,42 @@ def test_grids_are_distinct():
     assert all(n <= 60 for n, _ in QUICK_GRID)
 
 
+def test_shrunk_runs_skip_planner_cells(tiny_doc):
+    """Overriding grid/algorithms must not sneak planner cells in."""
+    assert not any(
+        e["algorithm"].startswith("Planner[") for e in tiny_doc["entries"]
+    )
+
+
+def test_planner_cells_run_plan_solve_pipeline():
+    doc = run_bench(
+        quick=True,
+        seed=3,
+        grid=(),
+        algorithms=(),
+        planner_grid=(("plane_sweep", 12, 1500.0), ("multi_sink", 12, 1500.0)),
+    )
+    names = [e["algorithm"] for e in doc["entries"]]
+    assert names == ["Planner[plane_sweep]", "Planner[multi_sink]"]
+    for entry in doc["entries"]:
+        # The plan phase joins the wall profile, so the compare gate
+        # grades planning time like any other phase.
+        assert entry["profile"]["plan_s"] > 0
+        assert entry["profile"]["plan_s"] <= entry["wall_s"]
+        # Machine-independent planner work counters land in the cell.
+        assert entry["counters"]["planner.plans"] == 1
+        assert entry["collected_megabits"] > 0
+    by_name = {e["algorithm"]: e for e in doc["entries"]}
+    assert by_name["Planner[plane_sweep]"]["counters"]["planner.sweep.segments"] > 0
+
+
+def test_default_quick_grid_includes_planner_cells():
+    from repro.experiments.bench import PLANNER_QUICK_GRID
+
+    kinds = {kind for kind, _, _ in PLANNER_QUICK_GRID}
+    assert kinds == {"plane_sweep", "multi_sink"}
+
+
 def test_cli_accepts_bench_flags(tmp_path):
     parser = build_parser()
     args = parser.parse_args(

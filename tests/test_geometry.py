@@ -108,9 +108,35 @@ class TestPiecewiseLinearPath:
         with pytest.raises(ValueError):
             PiecewiseLinearPath([(0.0, 0.0)])
 
-    def test_rejects_duplicate_waypoints(self):
+    def test_collapses_duplicate_waypoints(self):
+        """Zero-length segments are collapsed, not rejected — planners
+        stitch tours that legitimately share junction vertices."""
+        poly = PiecewiseLinearPath([(0, 0), (0, 0), (3, 0), (3, 0), (3, 4)])
+        clean = PiecewiseLinearPath([(0, 0), (3, 0), (3, 4)])
+        assert poly.length == pytest.approx(clean.length)
+        assert poly.waypoints.shape == (3, 2)
+        arcs = np.linspace(0.0, poly.length, 17)
+        np.testing.assert_allclose(poly.point_at(arcs), clean.point_at(arcs))
+
+    def test_collapses_run_of_duplicates(self):
+        poly = PiecewiseLinearPath([(1, 1), (1, 1), (1, 1), (5, 1)])
+        assert poly.waypoints.shape == (2, 2)
+        assert poly.length == pytest.approx(4.0)
+
+    def test_rejects_all_duplicate_waypoints(self):
+        """A polyline with no distinct consecutive points has no arc
+        length to parameterise — still an error."""
         with pytest.raises(ValueError):
-            PiecewiseLinearPath([(0, 0), (0, 0), (1, 1)])
+            PiecewiseLinearPath([(2, 3), (2, 3), (2, 3)])
+
+    def test_duplicate_collapse_keeps_lookup_finite(self):
+        """Arc-length lookup near a collapsed vertex must not divide by
+        a zero segment length."""
+        poly = PiecewiseLinearPath([(0, 0), (10, 0), (10, 0), (10, 10)])
+        pts = poly.point_at(np.array([0.0, 10.0, 15.0, 20.0]))
+        assert np.all(np.isfinite(pts))
+        np.testing.assert_allclose(pts[1], [10.0, 0.0])
+        np.testing.assert_allclose(pts[2], [10.0, 5.0])
 
     def test_distance_from(self):
         poly = PiecewiseLinearPath([(0, 0), (10, 0)])

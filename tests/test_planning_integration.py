@@ -1,0 +1,128 @@
+"""End-to-end planning: designed tours through solve, certify, fuzz, CLI.
+
+The acceptance bar for the planning subsystem: every paper algorithm
+must produce a *valid certificate* on both plane-sweep and multi-sink
+tours, the differential checker must stay quiet on planner-derived
+instances, and ``repro plan`` must be byte-identical across runs.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.planning import PlannerConfig
+from repro.sim.algorithms import get_algorithm, requires_fixed_power
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.simulator import run_tour
+from repro.verify import check_instance
+
+PAPER_ALGORITHMS = (
+    "Offline_Appro",
+    "Online_Appro",
+    "Offline_MaxMatch",
+    "Online_MaxMatch",
+)
+
+
+def _config(kind, **overrides):
+    planner = PlannerConfig(kind=kind, **overrides.pop("planner_kwargs", {}))
+    defaults = dict(
+        num_sensors=25,
+        path_length=800.0,
+        max_offset=200.0,
+        sink_speed=10.0,
+        planner=planner,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestCertifyOnDesignedTours:
+    @pytest.mark.parametrize("kind", ["plane_sweep", "multi_sink"])
+    @pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+    def test_certificate_passes(self, kind, algorithm):
+        fixed_power = 0.3 if requires_fixed_power(algorithm) else None
+        config = _config(kind, fixed_power=fixed_power)
+        scenario = config.build(seed=3)
+        assert scenario.plan is not None and scenario.plan.kind == kind
+        result = run_tour(scenario, get_algorithm(algorithm), certify=True)
+        assert result.certificate is not None
+        assert result.certificate.verdict == "pass", result.certificate.failures()
+        assert result.collected_megabits > 0
+
+    def test_fixed_line_planner_matches_plannerless_solve(self):
+        planned = _config("fixed_line").build(seed=5)
+        plain = ScenarioConfig(
+            num_sensors=25, path_length=800.0, max_offset=200.0, sink_speed=10.0
+        ).build(seed=5)
+        a = run_tour(planned, get_algorithm("Offline_Appro"), mutate=False)
+        b = run_tour(plain, get_algorithm("Offline_Appro"), mutate=False)
+        assert a.collected_megabits == b.collected_megabits
+
+
+class TestDifferentialCheckOnDesignedTours:
+    @pytest.mark.parametrize("kind", ["plane_sweep", "multi_sink"])
+    def test_fuzz_relations_hold(self, kind):
+        scenario = _config(kind, fixed_power=0.3).build(seed=3)
+        instance = scenario.instance()
+        findings = check_instance(instance, scenario.gamma)
+        assert findings == [], [(f.kind, f.check, f.detail) for f in findings]
+
+
+class TestPlanCli:
+    ARGS = [
+        "plan",
+        "--sensors", "30",
+        "--field-width", "1000",
+        "--field-height", "250",
+        "--speed", "10",
+        "--seed", "11",
+    ]
+
+    def test_json_byte_identical_across_runs(self, tmp_path):
+        out1, out2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["--json", str(out1)]) == 0
+        assert main(self.ARGS + ["--json", str(out2)]) == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        doc = json.loads(out1.read_text())
+        assert doc["format"] == "repro.plan"
+        assert doc["plan"]["kind"] == "plane_sweep"
+        assert len(doc["sensors"]) == 30
+
+    def test_map_rendered_to_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "tour" in out
+
+    def test_json_dash_writes_stdout_without_map(self, capsys):
+        assert main(self.ARGS + ["--json", "-"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)  # pure JSON — no ASCII map mixed in
+        assert doc["plan"]["kind"] == "plane_sweep"
+
+    def test_multi_sink_flags(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--planner", "multi_sink",
+                "--sinks", "3",
+                "--deployment", "clustered",
+                "--sensors", "40",
+                "--field-width", "1500",
+                "--field-height", "250",
+                "--speed", "10",
+                "--seed", "4",
+                "--json", "-",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["plan"]["kind"] == "multi_sink"
+        assert doc["plan"]["num_sinks"] == 3
+        assert len(doc["plan"]["assignment"]) == 40
+
+    def test_infeasible_budget_is_clean_error(self, capsys):
+        code = main(self.ARGS + ["--budget", "50"])
+        assert code != 0

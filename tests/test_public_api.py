@@ -23,6 +23,7 @@ MODULES = [
     "repro.core",
     "repro.online",
     "repro.sim",
+    "repro.planning",
     "repro.experiments",
     "repro.viz",
     "repro.service",

@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.network.radio import CC2420_LIKE_TABLE, FixedPowerTable
+from repro.planning import PlannerConfig
 from repro.sim.scenario import PAPER_DEFAULTS, Scenario, ScenarioConfig
+from repro.utils.validation import UnknownFieldError
 
 
 class TestConfig:
@@ -56,6 +58,50 @@ class TestConfig:
         c = ScenarioConfig(num_sensors=10)
         assert hash(c) == hash(ScenarioConfig(num_sensors=10))
         assert pickle.loads(pickle.dumps(c)) == c
+
+
+class TestConfigSerialization:
+    def test_round_trip_without_planner(self):
+        c = ScenarioConfig(num_sensors=40, fixed_power=0.3)
+        doc = c.to_dict()
+        assert "planner" not in doc  # historical wire shape preserved
+        assert ScenarioConfig.from_dict(doc) == c
+
+    def test_round_trip_with_planner(self):
+        c = ScenarioConfig(
+            num_sensors=40,
+            planner=PlannerConfig(kind="multi_sink", num_sinks=3),
+        )
+        doc = c.to_dict()
+        assert doc["planner"]["kind"] == "multi_sink"
+        assert ScenarioConfig.from_dict(doc) == c
+
+    def test_from_dict_rejects_unknown_field_typed(self):
+        with pytest.raises(UnknownFieldError) as excinfo:
+            ScenarioConfig.from_dict({"num_sensors": 10, "sensros": 10})
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # still catchable the old way
+        assert err.fields == ("sensros",)  # the offending key, by name
+        assert "sensros" in str(err)
+        assert "num_sensors" in err.known  # message lists valid fields
+
+    def test_from_dict_names_every_unknown_field_sorted(self):
+        with pytest.raises(UnknownFieldError) as excinfo:
+            ScenarioConfig.from_dict({"zz": 1, "aa": 2})
+        assert excinfo.value.fields == ("aa", "zz")
+
+    def test_from_dict_rejects_unknown_planner_field(self):
+        with pytest.raises(UnknownFieldError, match="tour_budget"):
+            ScenarioConfig.from_dict({"planner": {"tour_budget": 100.0}})
+
+    def test_constructor_coerces_planner_mapping(self):
+        c = ScenarioConfig(planner={"kind": "plane_sweep"})
+        assert isinstance(c.planner, PlannerConfig)
+        assert c.planner.kind == "plane_sweep"
+
+    def test_constructor_rejects_bad_planner(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(planner="plane_sweep")
 
 
 class TestScenario:
@@ -110,3 +156,32 @@ class TestScenario:
     def test_lateral_offsets_bounded(self):
         scenario = ScenarioConfig(num_sensors=100).build(seed=4)
         assert np.all(np.abs(scenario.network.positions[:, 1]) <= 180.0)
+
+    def test_no_planner_means_no_plan(self):
+        scenario = ScenarioConfig(num_sensors=10, path_length=1000.0).build(seed=0)
+        assert scenario.plan is None
+
+    def test_planner_attaches_plan_and_path(self):
+        config = ScenarioConfig(
+            num_sensors=20,
+            path_length=1000.0,
+            sink_speed=10.0,
+            planner=PlannerConfig(kind="plane_sweep"),
+        )
+        scenario = config.build(seed=0)
+        assert scenario.plan is not None
+        assert scenario.plan.kind == "plane_sweep"
+        assert scenario.trajectory.path is scenario.plan.path
+
+    def test_fixed_line_planner_keeps_historical_topology(self):
+        """Adding the identity planner must not perturb the deployment."""
+        plain = ScenarioConfig(num_sensors=30, path_length=2000.0).build(seed=5)
+        planned = ScenarioConfig(
+            num_sensors=30,
+            path_length=2000.0,
+            planner=PlannerConfig(kind="fixed_line"),
+        ).build(seed=5)
+        np.testing.assert_array_equal(
+            plain.network.positions, planned.network.positions
+        )
+        np.testing.assert_allclose(plain.network.charges(), planned.network.charges())

@@ -192,6 +192,51 @@ class TestSolve:
         assert doc["cached"] is False  # distinct cache key: no stale, cert-less hit
         assert "certificate" in doc
 
+    def test_planner_request_end_to_end(self, served):
+        port, _ = served
+        body = _solve_body(seed=41, certify=True, planner={"kind": "plane_sweep"})
+        status, doc = _request(port, "/v1/solve", "POST", body)
+        assert status == 200, doc
+        plan = doc["plan"]
+        assert plan["kind"] == "plane_sweep"
+        assert plan["num_sinks"] == 1
+        assert plan["total_tour_length_m"] > 0
+        # The echoed scenario carries the merged planner block.
+        assert doc["scenario"]["planner"]["kind"] == "plane_sweep"
+        # Certification runs unchanged on the designed tour.
+        assert doc["certificate"]["verdict"] == "pass"
+
+    def test_multi_sink_request_reports_sinks(self, served):
+        port, _ = served
+        body = _solve_body(
+            seed=42, planner={"kind": "multi_sink", "num_sinks": 2}
+        )
+        status, doc = _request(port, "/v1/solve", "POST", body)
+        assert status == 200, doc
+        assert doc["plan"]["kind"] == "multi_sink"
+        assert doc["plan"]["num_sinks"] >= 1
+        assert len(doc["plan"]["tour_lengths_m"]) == doc["plan"]["num_sinks"]
+
+    def test_planner_and_plain_requests_cache_separately(self, served):
+        port, _ = served
+        plain = _solve_body(seed=43)
+        status, doc = _request(port, "/v1/solve", "POST", plain)
+        assert status == 200 and "plan" not in doc
+        status, doc = _request(
+            port, "/v1/solve", "POST", dict(plain, planner={"kind": "fixed_line"})
+        )
+        assert status == 200, doc
+        assert doc["cached"] is False  # planner extends the cache key
+        assert doc["plan"]["kind"] == "fixed_line"
+
+    def test_bad_planner_is_400_naming_the_key(self, served):
+        port, _ = served
+        body = _solve_body(planner={"kind": "plane_sweep", "spacing": 50.0})
+        status, doc = _request(port, "/v1/solve", "POST", body)
+        assert status == 400
+        assert doc["field"] == "planner"
+        assert "spacing" in doc["error"]
+
     def test_repeat_request_served_from_cache(self, served):
         port, service = served
         body = _solve_body(seed=21)
@@ -695,6 +740,39 @@ class TestSchema:
         err = RequestError("boom", status=413, field="scenario")
         assert err.to_dict() == {"error": "boom", "status": 413, "field": "scenario"}
 
+    def test_top_level_planner_merges_into_scenario(self):
+        request = parse_solve_request(
+            {"scenario": {"num_sensors": 10}, "planner": {"kind": "plane_sweep"}}
+        )
+        assert request.config.planner is not None
+        assert request.config.planner.kind == "plane_sweep"
+        # And the payload ships it inside the scenario document.
+        assert request.payload()["scenario"]["planner"]["kind"] == "plane_sweep"
+
+    def test_planner_inside_scenario_also_accepted(self):
+        request = parse_solve_request(
+            {"scenario": {"planner": {"kind": "multi_sink", "num_sinks": 3}}}
+        )
+        assert request.config.planner.num_sinks == 3
+
+    def test_planner_in_both_places_is_400(self):
+        with pytest.raises(RequestError, match="pick one"):
+            parse_solve_request(
+                {
+                    "scenario": {"planner": {"kind": "fixed_line"}},
+                    "planner": {"kind": "plane_sweep"},
+                }
+            )
+
+    def test_planner_must_be_object(self):
+        with pytest.raises(RequestError, match="planner"):
+            parse_solve_request({"scenario": {}, "planner": "plane_sweep"})
+
+    def test_unknown_planner_field_is_400_naming_it(self):
+        with pytest.raises(RequestError, match="pacing") as err:
+            parse_solve_request({"scenario": {}, "planner": {"pacing": 3}})
+        assert err.value.field == "planner"
+
 
 class TestCache:
     def test_lru_eviction_order(self):
@@ -756,3 +834,30 @@ class TestCache:
         # certify=False must hash identically to the historical 3-arg key.
         assert solve_cache_key(scenario, "A", 1, certify=False) == plain
         assert solve_cache_key(scenario, "A", 1, certify=True) != plain
+
+    def test_planner_extends_key_backward_compatibly(self):
+        """Planner-less requests keep their historical cache keys; any
+        planner (even the identity ``fixed_line``) hashes differently."""
+        plain = parse_solve_request({"scenario": {"num_sensors": 10}, "seed": 1})
+        planned = parse_solve_request(
+            {
+                "scenario": {"num_sensors": 10},
+                "planner": {"kind": "fixed_line"},
+                "seed": 1,
+            }
+        )
+        # to_dict() omits the absent planner → key == historical key.
+        assert plain.cache_key() == solve_cache_key(
+            plain.config.to_dict(), "Offline_Appro", 1, certify=False
+        )
+        assert "planner" not in plain.config.to_dict()
+        assert planned.cache_key() != plain.cache_key()
+
+    def test_distinct_planners_hash_distinctly(self):
+        keys = {
+            parse_solve_request(
+                {"scenario": {"num_sensors": 10}, "planner": {"kind": kind}, "seed": 1}
+            ).cache_key()
+            for kind in ("fixed_line", "plane_sweep", "multi_sink")
+        }
+        assert len(keys) == 3
