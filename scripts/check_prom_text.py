@@ -2,8 +2,12 @@
 """Validate a Prometheus text-exposition (0.0.4) file; used by CI smoke.
 
 Usage: check_prom_text.py FILE [required-metric ...]
-Exits non-zero on a malformed line, a TYPE-less sample family, or a
-missing required metric.
+
+A required metric may be a bare name (presence check) or ``type:name``
+(e.g. ``counter:repro_planner_plans_total``), which additionally
+asserts the family's declared ``# TYPE``.  Exits non-zero on a
+malformed line, a TYPE-less sample family, a missing required metric,
+or a declared-type mismatch.
 """
 import re
 import sys
@@ -14,23 +18,39 @@ SAMPLE = re.compile(
 )
 
 path, required = sys.argv[1], sys.argv[2:]
-typed, seen = set(), set()
+typed, seen = {}, set()
 for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
     line = line.rstrip("\n")
     if not line or line.startswith("# HELP"):
         continue
     if line.startswith("# TYPE"):
-        typed.add(line.split()[2])
+        parts = line.split()
+        typed[parts[2]] = parts[3] if len(parts) > 3 else ""
         continue
     match = SAMPLE.match(line)
     if match is None:
         sys.exit(f"{path}:{lineno}: malformed sample line: {line!r}")
     name = match.group("name")
     base = re.sub(r"_(?:sum|count|total|bucket)$", "", name)
-    if not ({name, base} & typed):
+    if not ({name, base} & typed.keys()):
         sys.exit(f"{path}:{lineno}: sample {name!r} has no preceding # TYPE")
     seen.update({name, base})
-missing = [m for m in required if m not in seen]
-if missing:
-    sys.exit(f"{path}: missing required metric(s): {', '.join(missing)}")
+
+problems = []
+for item in required:
+    want_type, colon, name = item.rpartition(":")
+    if not colon:
+        want_type = None
+    if name not in seen:
+        problems.append(f"missing required metric {name!r}")
+        continue
+    if want_type:
+        base = re.sub(r"_(?:sum|count|total|bucket)$", "", name)
+        declared = typed.get(name, typed.get(base))
+        if declared != want_type:
+            problems.append(
+                f"metric {name!r} declared as {declared!r}, expected {want_type!r}"
+            )
+if problems:
+    sys.exit(f"{path}: " + "; ".join(problems))
 print(f"{path}: OK ({len(seen)} metric names, {len(typed)} typed families)")

@@ -15,10 +15,14 @@ Subcommands:
 
 * ``profile`` — run one algorithm under a recording metrics registry
   and emit a JSON profile report (phase timings, solver counters, timer
-  histograms), optionally with a Chrome trace::
+  histograms), optionally with a Chrome trace; ``--deep`` adds
+  cProfile + tracemalloc attribution (hot-function tables, per-phase
+  peak memory) to the report and writes a flamegraph-folded stack
+  file::
 
       python -m repro profile --sensors 100 --algo Offline_Appro
       python -m repro profile --sensors 300 --algo Online_Appro --trace out.json
+      python -m repro profile --sensors 100 --deep --folded profile.folded
 
 * ``coverage`` — deployment diagnostics (contention, holes, ceiling)::
 
@@ -47,6 +51,21 @@ Subcommands:
       python -m repro bench --quick --repeat 3 --json BENCH_core.json
       python -m repro bench --compare BENCH_core.json BENCH_new.json
       python -m repro bench --compare old.json new.json --wall-warn-only
+
+  ``--record`` also appends the run to the perf trajectory ledger
+  (``benchmarks/history/`` by default)::
+
+      python -m repro bench --quick --record
+      python -m repro bench --quick --record bench-history
+
+* ``trend`` — align the recorded ledger by ``(algorithm, n, L)`` cell
+  and render ASCII sparkline/table trajectories of wall phases, work
+  counters, and collected megabits per commit label; ``--json`` emits
+  the machine-readable trend document and ``--gate`` exits 1 when a
+  phase worsens monotonically across the last K entries::
+
+      python -m repro trend
+      python -m repro trend --dir bench-history --json - --gate --last 4
 
 * ``loadtest`` — drive a live ``repro serve`` instance with a
   configurable concurrency/duration/scenario mix, report client-side
@@ -78,6 +97,7 @@ logger hierarchy from WARNING to INFO (``-v``) or DEBUG (``-vv``).
 from __future__ import annotations
 
 import argparse
+import contextlib as _contextlib
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -232,6 +252,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="write the JSON report to this file instead of stdout",
+    )
+    profile.add_argument(
+        "--deep",
+        action="store_true",
+        help="wrap every phase in cProfile + tracemalloc: the report "
+        "gains hot-function tables and per-phase peak memory, and a "
+        "flamegraph-folded stack file is written (see --folded)",
+    )
+    profile.add_argument(
+        "--folded",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="with --deep, write the collapsed-stack text here "
+        "(default: <output>.folded next to --output, else profile.folded)",
     )
 
     coverage = sub.add_parser("coverage", help="deployment coverage diagnostics")
@@ -449,6 +484,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="also write the rendered --compare report to this file",
+    )
+    bench.add_argument(
+        "--record",
+        nargs="?",
+        const="benchmarks/history",
+        default=None,
+        metavar="DIR",
+        help="append the bench document to the perf trajectory ledger "
+        "under DIR (default: benchmarks/history); read it back with "
+        "'repro trend'",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="render perf trajectories from the 'bench --record' ledger "
+        "(sparklines per (algorithm, n, L) cell), optionally gating on "
+        "monotone regressions",
+    )
+    trend.add_argument(
+        "--dir",
+        type=str,
+        default="benchmarks/history",
+        metavar="DIR",
+        help="ledger directory written by 'bench --record' "
+        "(default: benchmarks/history)",
+    )
+    trend.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable trend document here "
+        "('-' for stdout, suppressing the rendered tables)",
+    )
+    trend.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when any wall phase / work counter worsens "
+        "monotonically (and megabits fall) across the last K entries",
+    )
+    trend.add_argument(
+        "--last",
+        type=int,
+        default=3,
+        metavar="K",
+        help="window size for --gate: the last K ledger entries "
+        "(default: 3, minimum: 2)",
     )
 
     loadtest = sub.add_parser(
@@ -681,16 +763,20 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 def _run_profile(args: argparse.Namespace) -> int:
     from repro.obs import (
+        DeepProfiler,
         MetricsRegistry,
         Tracer,
         profile_report,
         render_profile_report,
+        use_profiler,
         use_registry,
         use_tracer,
     )
     from repro.sim.algorithms import get_algorithm
     from repro.sim.simulator import run_tour
 
+    if args.folded and not args.deep:
+        raise SystemExit("--folded requires --deep")
     algo_name = _resolve_algorithm_name(args.algo)
     if "MaxMatch" in algo_name and args.fixed_power is None:
         raise SystemExit(
@@ -699,9 +785,19 @@ def _run_profile(args: argparse.Namespace) -> int:
         )
     registry = MetricsRegistry()
     tracer = Tracer()
-    with use_registry(registry), use_tracer(tracer):
+    profiler = DeepProfiler() if args.deep else None
+    deep = None
+    folded_text = None
+    with _contextlib.ExitStack() as stack:
+        stack.enter_context(use_registry(registry))
+        stack.enter_context(use_tracer(tracer))
+        if profiler is not None:
+            stack.enter_context(use_profiler(profiler))
         scenario = _build_scenario(args)
         result = run_tour(scenario, get_algorithm(algo_name), mutate=False)
+        if profiler is not None:
+            deep = profiler.attribution()
+            folded_text = profiler.folded()
     report = profile_report(
         result,
         registry,
@@ -715,6 +811,7 @@ def _run_profile(args: argparse.Namespace) -> int:
             "gamma": scenario.gamma,
             "num_slots": scenario.trajectory.num_slots,
         },
+        deep=deep,
     )
     text = render_profile_report(report)
     if args.output:
@@ -727,6 +824,17 @@ def _run_profile(args: argparse.Namespace) -> int:
         with open(args.trace, "w", encoding="utf-8") as fh:
             fh.write(tracer.to_chrome_trace())
         print(f"[chrome trace written to {args.trace}]", file=sys.stderr)
+    if folded_text is not None:
+        from pathlib import Path
+
+        folded_path = args.folded or (
+            str(Path(args.output).with_suffix(".folded"))
+            if args.output
+            else "profile.folded"
+        )
+        with open(folded_path, "w", encoding="utf-8") as fh:
+            fh.write(folded_text)
+        print(f"[folded stacks written to {folded_path}]", file=sys.stderr)
     return 0
 
 
@@ -951,6 +1059,56 @@ def _run_bench(args: argparse.Namespace) -> int:
             json.dump(document, fh, indent=2)
             fh.write("\n")
         print(f"[bench document written to {args.json}]")
+    if args.record is not None:
+        from repro.obs import record_bench
+
+        path = record_bench(document, args.record)
+        print(f"[bench document recorded to {path}]")
+    return 0
+
+
+def _run_trend(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import build_trend, gate_trend, load_history, render_trend
+
+    if args.last < 2:
+        raise SystemExit("--last must be >= 2")
+    history = load_history(args.dir)
+    if not history:
+        print(
+            f"trend: no bench documents under {args.dir} "
+            "(record some with 'repro bench --record')",
+            file=sys.stderr,
+        )
+        return 2
+    trend = build_trend(
+        [doc for _, doc in history], files=[name for name, _ in history]
+    )
+    text = json.dumps(trend, indent=2) + "\n"
+    if args.json == "-":
+        sys.stdout.write(text)
+    else:
+        print(render_trend(trend))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"[trend document written to {args.json}]")
+    if args.gate:
+        gate = gate_trend(trend, last=args.last)
+        if not gate["ok"]:
+            for finding in gate["findings"]:
+                print(
+                    f"GATE [{finding['kind']}] {finding['cell']} "
+                    f"{finding['metric']}: {finding['detail']}",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"gate: ok (no monotone regressions over the last "
+            f"{gate['window']} entries)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -1003,6 +1161,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "trend":
+        return _run_trend(args)
     if args.command == "loadtest":
         return _run_loadtest(args)
     if args.command == "verify":

@@ -26,12 +26,20 @@ SLOs: ``slo_p95_ms`` bounds the overall client-side p95,
 listed in the report's ``slo`` block and flip ``slo.passed`` to
 ``False`` (the CLI exits 1).  A run that completes zero requests never
 passes — an unreachable service must not look healthy.
+
+A background sampler polls ``GET /healthz`` every
+``queue_sample_interval_s`` during the run and the report's
+``queue_depth`` block summarises the observed executor queue depth
+(min/median/max over the samples) — back-pressure the latency
+histograms alone can't show.  Note the sampler's own GETs land in the
+``repro_service_http_requests_total`` before/after delta.
 """
 
 from __future__ import annotations
 
 import json
 import random
+import statistics
 import threading
 import time
 import urllib.error
@@ -119,6 +127,7 @@ class LoadTestConfig:
     slo_error_rate: Optional[float] = None
     seed: int = 1
     poll_interval_s: float = 0.02
+    queue_sample_interval_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.concurrency < 1:
@@ -131,6 +140,11 @@ class LoadTestConfig:
             )
         if not any(self.mix.get(op, 0) > 0 for op in OPERATIONS):
             raise ValueError("mix selects no operations")
+        if self.queue_sample_interval_s <= 0:
+            raise ValueError(
+                "queue_sample_interval_s must be > 0, "
+                f"got {self.queue_sample_interval_s}"
+            )
 
 
 class _Client:
@@ -296,6 +310,36 @@ def _worker(
         _run_op(op, client, config, state, registry)
 
 
+def _sample_queue_depth(
+    client: _Client,
+    interval_s: float,
+    stop: threading.Event,
+    samples: List[float],
+) -> None:
+    """Poll ``/healthz`` until ``stop`` is set, appending each observed
+    ``queue_depth``.  Samples first, then waits — so even a run shorter
+    than one interval records at least one sample."""
+    while True:
+        healthz = client.healthz()
+        if healthz is not None and isinstance(
+            healthz.get("queue_depth"), (int, float)
+        ):
+            samples.append(float(healthz["queue_depth"]))
+        if stop.wait(interval_s):
+            return
+
+
+def _queue_depth_section(samples: List[float]) -> Dict[str, object]:
+    if not samples:
+        return {"samples": 0}
+    return {
+        "samples": len(samples),
+        "min": min(samples),
+        "median": statistics.median(samples),
+        "max": max(samples),
+    }
+
+
 def _latency_ms(registry: MetricsRegistry, name: str) -> Dict[str, float]:
     stats = registry.timer_stats(name)
     return {
@@ -346,7 +390,17 @@ def run_loadtest(
     state = _RunState(config)
     before = client.scrape_prometheus()
 
+    queue_samples: List[float] = []
+    sampler_stop = threading.Event()
+    sampler = threading.Thread(
+        target=_sample_queue_depth,
+        args=(client, config.queue_sample_interval_s, sampler_stop, queue_samples),
+        name="loadtest-queue-sampler",
+        daemon=True,
+    )
+
     t0 = time.perf_counter()
+    sampler.start()
     threads = [
         threading.Thread(
             target=_worker,
@@ -362,6 +416,8 @@ def run_loadtest(
         # Workers self-terminate at the deadline/budget; the join bound
         # only guards against a wedged socket outliving the run.
         thread.join(timeout=config.duration_s + config.request_timeout * 2)
+    sampler_stop.set()
+    sampler.join(timeout=config.request_timeout + 1.0)
     elapsed_s = time.perf_counter() - t0
 
     after = client.scrape_prometheus()
@@ -416,6 +472,7 @@ def run_loadtest(
             },
         },
         "server": _server_section(client, before, after),
+        "queue_depth": _queue_depth_section(queue_samples),
         "error_samples": state.errors,
         "slo": {
             "p95_ms": config.slo_p95_ms,
@@ -473,6 +530,14 @@ def render_report(report: Mapping) -> str:
             )
     else:
         lines.append(f"server: {server.get('detail', 'not scraped')}")
+
+    depth = report.get("queue_depth") or {}
+    if depth.get("samples"):
+        lines.append(
+            f"server queue depth: min {depth['min']:g} / "
+            f"median {depth['median']:g} / max {depth['max']:g} "
+            f"({depth['samples']} samples)"
+        )
 
     slo = report["slo"]
     lines.append("")

@@ -25,6 +25,17 @@ Three request-scoped pieces serve the HTTP planning service:
   :func:`render_prometheus` turns any registry snapshot into text
   exposition format 0.0.4 for ``GET /metrics?format=prometheus``.
 
+Two offline analysis pieces ride on top:
+
+* **deep profiling** (:mod:`repro.obs.profiling`) — per-phase
+  cProfile + tracemalloc attribution (hot-function tables, peak-memory
+  gauges, flamegraph-folded stacks) behind the global
+  :func:`profile_phase` / :func:`use_profiler` pair, wired into
+  ``repro profile --deep`` and the service's slow-request capture;
+* **perf trajectory** (:mod:`repro.obs.trend`) — the append-only
+  ``repro bench --record`` ledger plus the ``repro trend``
+  sparkline/table/gate over it.
+
 :func:`profile_report` fuses a tour result and a registry snapshot into
 the JSON document ``python -m repro profile`` emits.
 
@@ -56,6 +67,14 @@ from repro.obs.context import (
     request_context,
 )
 from repro.obs.log import configure_logging, get_logger, verbosity_to_level
+from repro.obs.profiling import (
+    DeepProfiler,
+    NullProfiler,
+    get_profiler,
+    profile_phase,
+    set_profiler,
+    use_profiler,
+)
 from repro.obs.promexpo import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.registry import (
     MetricsRegistry,
@@ -72,6 +91,14 @@ from repro.obs.registry import (
     use_registry,
 )
 from repro.obs.report import profile_report, render_profile_report
+from repro.obs.trend import (
+    build_trend,
+    gate_trend,
+    load_history,
+    record_bench,
+    render_trend,
+    sparkline,
+)
 from repro.obs.tracing import (
     NullTracer,
     SpanEvent,
@@ -108,6 +135,20 @@ __all__ = [
     "span",
     "events_from_jsonl",
     "chrome_trace_document",
+    # deep profiling
+    "DeepProfiler",
+    "NullProfiler",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "profile_phase",
+    # perf trajectory ledger
+    "record_bench",
+    "load_history",
+    "build_trend",
+    "render_trend",
+    "gate_trend",
+    "sparkline",
     # logging
     "get_logger",
     "configure_logging",

@@ -30,6 +30,7 @@ def profile_report(
     registry: MetricsRegistry,
     algorithm: Optional[str] = None,
     scenario: Optional[Dict[str, object]] = None,
+    deep: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """Assemble the profile document for one tour.
 
@@ -45,17 +46,28 @@ def profile_report(
         Algorithm name to stamp into the report.
     scenario:
         Free-form scenario metadata (n, seed, gamma, …).
+    deep:
+        Optional :meth:`repro.obs.profiling.DeepProfiler.attribution`
+        document (hot-function tables, peak-memory gauges), attached
+        verbatim under ``"deep"``.
 
     Returns
     -------
     dict
         JSON-serialisable report with ``format``/``version`` envelope,
         ``result`` totals, per-phase ``phases`` seconds, and the
-        registry's ``counters``/``gauges``/``timers``.
+        registry's ``counters``/``gauges``/``timers``.  Planner-bearing
+        runs gain a ``plan_s`` phase, promoted from the registry's
+        ``planner.plan`` timer (planning happens at scenario build,
+        before the tour's own phase clock starts).
     """
     snapshot = registry.snapshot()
     messages = result.messages.summary() if result.messages is not None else None
-    return {
+    phases = dict(result.profile)
+    plan_stats = registry.timer_stats("planner.plan")
+    if plan_stats.count:
+        phases["plan_s"] = plan_stats.total
+    report: Dict[str, object] = {
         "format": REPORT_FORMAT,
         "version": REPORT_VERSION,
         "algorithm": algorithm,
@@ -67,11 +79,14 @@ def profile_report(
             "total_energy_spent_j": float(result.total_energy_spent),
             "messages": messages,
         },
-        "phases": dict(result.profile),
+        "phases": phases,
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
         "timers": snapshot["timers"],
     }
+    if deep is not None:
+        report["deep"] = deep
+    return report
 
 
 def render_profile_report(report: Dict[str, object], indent: int = 2) -> str:

@@ -1,0 +1,436 @@
+"""Perf trajectory ledger: record bench documents, render their trend.
+
+``repro bench --record`` appends each benchmark document (the v2,
+git-provenance-stamped shape from :mod:`repro.experiments.bench`) to an
+append-only ledger directory — ``benchmarks/history/*.json``, one file
+per run, named by UTC timestamp + commit + label so a directory listing
+*is* the chronology.  ``repro trend`` then aligns the ledger's cells by
+``(algorithm, num_sensors, path_length)`` — the same cell key the
+``bench --compare`` gate uses — and renders per-cell trajectories of
+wall-clock phases, machine-independent work counters, and collected
+megabits as ASCII sparklines with first→last deltas.
+
+Three consumers of one :func:`build_trend` document:
+
+* :func:`render_trend` — the human view (sparklines + deltas per cell);
+* ``repro trend --json`` — the machine view (the document round-trips
+  through JSON unchanged);
+* :func:`gate_trend` — the gate: a wall phase that worsened
+  *monotonically* across the last K entries (beyond a noise floor), a
+  work counter that only ever grew, or output megabits that only ever
+  shrank flags a finding and flips the verdict — single noisy runs
+  never do, which is what makes a trend gate stricter than a pairwise
+  compare in the dimension that matters (drift) and laxer in the one
+  that doesn't (jitter).
+
+The module is stdlib-only and does not import the bench machinery —
+ledger documents are treated as plain JSON, so trends can be rendered
+from any checkout (or none).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "TREND_FORMAT",
+    "TREND_VERSION",
+    "DEFAULT_HISTORY_DIR",
+    "record_bench",
+    "load_history",
+    "build_trend",
+    "render_trend",
+    "gate_trend",
+    "sparkline",
+]
+
+TREND_FORMAT = "repro.trend"
+TREND_VERSION = 1
+
+#: Where ``repro bench --record`` appends documents by default.
+DEFAULT_HISTORY_DIR = "benchmarks/history"
+
+#: Ledger files must carry this format marker (kept as a literal so the
+#: module stays import-light; mirrors ``repro.experiments.bench.BENCH_FORMAT``).
+_BENCH_FORMAT = "repro.bench"
+
+#: Wall-clock phases promoted to named trend rows (same set the
+#: ``bench --compare`` gate grades; unmatched phases are skipped per cell).
+_WALL_PHASES: Tuple[str, ...] = (
+    "plan_s",
+    "instance_build_s",
+    "solve_s",
+    "verify_s",
+    "total_s",
+)
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+# ----------------------------------------------------------------------
+# ledger I/O
+# ----------------------------------------------------------------------
+def record_bench(
+    document: Mapping, directory: str = DEFAULT_HISTORY_DIR
+) -> Path:
+    """Append one bench document to the ledger; returns the new path.
+
+    The document is stamped with a ``recorded_at`` UTC timestamp (kept
+    if already present) and written as
+    ``<timestamp>-<commit12>[-<label>].json``; existing files are never
+    overwritten (a numeric suffix disambiguates collisions) — the
+    ledger is append-only.
+    """
+    if document.get("format") != _BENCH_FORMAT:
+        raise ValueError(
+            f"not a bench document (format={document.get('format')!r})"
+        )
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    doc = dict(document)
+    doc.setdefault(
+        "recorded_at",
+        datetime.now(timezone.utc).isoformat(timespec="microseconds"),
+    )
+    stamp = re.sub(r"[^0-9TZ]", "", str(doc["recorded_at"]))
+    provenance = doc.get("provenance") or {}
+    commit = (provenance.get("git_commit") or "nogit")[:12]
+    parts = [stamp, commit]
+    label = provenance.get("label")
+    if label:
+        parts.append(re.sub(r"[^A-Za-z0-9._-]+", "-", str(label))[:40])
+    stem = "-".join(parts)
+    path = root / f"{stem}.json"
+    suffix = 1
+    while path.exists():
+        path = root / f"{stem}-{suffix}.json"
+        suffix += 1
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def load_history(directory: str) -> List[Tuple[str, Dict]]:
+    """Load the ledger under ``directory`` in chronological order.
+
+    Returns ``(filename, document)`` pairs sorted by ``recorded_at``
+    (filename as tie-break).  Files that are not valid JSON bench
+    documents are skipped silently — a stray README or a half-written
+    file must not take the trend down.  A missing directory is simply
+    an empty history.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    entries: List[Tuple[str, Dict]] = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if not isinstance(doc, dict) or doc.get("format") != _BENCH_FORMAT:
+            continue
+        entries.append((path.name, doc))
+    entries.sort(key=lambda entry: (str(entry[1].get("recorded_at") or ""), entry[0]))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# trend document
+# ----------------------------------------------------------------------
+def _cell_key(entry: Mapping) -> Tuple[str, int, float]:
+    return (
+        str(entry["algorithm"]),
+        int(entry["num_sensors"]),
+        float(entry["path_length"]),
+    )
+
+
+def _cell_name(key: Tuple[str, int, float]) -> str:
+    algorithm, num_sensors, path_length = key
+    return f"{algorithm} @ n={num_sensors}, L={path_length:g}"
+
+
+def _point_label(doc: Mapping, index: int) -> str:
+    provenance = doc.get("provenance") or {}
+    if provenance.get("label"):
+        return str(provenance["label"])
+    if provenance.get("git_commit"):
+        return str(provenance["git_commit"])[:12]
+    if doc.get("recorded_at"):
+        return str(doc["recorded_at"])
+    return f"#{index}"
+
+
+def build_trend(
+    documents: Sequence[Mapping], files: Optional[Sequence[str]] = None
+) -> Dict[str, object]:
+    """Align bench documents into one JSON-ready trend document.
+
+    ``documents`` must be in chronological order (what
+    :func:`load_history` returns); ``files`` optionally names each
+    document's ledger file.  Every ``(algorithm, num_sensors,
+    path_length)`` cell seen anywhere becomes a ``cells`` entry whose
+    series (``wall_s``, per-phase ``phases``, per-counter ``counters``,
+    ``collected_megabits``) hold one value per document — ``None``
+    where a document lacks the cell or the metric, so series always
+    have ``len(points)`` entries.
+    """
+    points: List[Dict[str, object]] = []
+    indexed: List[Dict[Tuple[str, int, float], Mapping]] = []
+    for index, doc in enumerate(documents):
+        provenance = doc.get("provenance") or {}
+        points.append(
+            {
+                "label": _point_label(doc, index),
+                "recorded_at": doc.get("recorded_at"),
+                "git_commit": provenance.get("git_commit"),
+                "git_dirty": provenance.get("git_dirty"),
+                "seed": doc.get("seed"),
+                "repeat": doc.get("repeat"),
+                "file": files[index] if files is not None else None,
+            }
+        )
+        indexed.append({_cell_key(e): e for e in doc.get("entries", ())})
+
+    cell_keys: List[Tuple[str, int, float]] = []
+    for by_key in indexed:
+        for key in by_key:
+            if key not in cell_keys:
+                cell_keys.append(key)
+
+    cells: List[Dict[str, object]] = []
+    for key in cell_keys:
+        entries = [by_key.get(key) for by_key in indexed]
+        phase_names = [
+            phase
+            for phase in _WALL_PHASES
+            if any(e is not None and phase in e.get("profile", {}) for e in entries)
+        ]
+        counter_names = sorted(
+            {
+                name
+                for e in entries
+                if e is not None
+                for name in e.get("counters", {})
+            }
+        )
+        cells.append(
+            {
+                "algorithm": key[0],
+                "num_sensors": key[1],
+                "path_length": key[2],
+                "cell": _cell_name(key),
+                "wall_s": [
+                    float(e["wall_s"]) if e is not None else None for e in entries
+                ],
+                "phases": {
+                    phase: [
+                        (
+                            float(e["profile"][phase])
+                            if e is not None and phase in e.get("profile", {})
+                            else None
+                        )
+                        for e in entries
+                    ]
+                    for phase in phase_names
+                },
+                "counters": {
+                    name: [
+                        (
+                            float(e["counters"][name])
+                            if e is not None and name in e.get("counters", {})
+                            else None
+                        )
+                        for e in entries
+                    ]
+                    for name in counter_names
+                },
+                "collected_megabits": [
+                    (
+                        float(e["collected_megabits"])
+                        if e is not None and "collected_megabits" in e
+                        else None
+                    )
+                    for e in entries
+                ],
+            }
+        )
+    return {
+        "format": TREND_FORMAT,
+        "version": TREND_VERSION,
+        "points": points,
+        "cells": cells,
+    }
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """One block character per value, min–max normalised; ``·`` for
+    missing (``None``) entries, the low block for a constant series."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return "·" * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    out = []
+    for value in values:
+        if value is None:
+            out.append("·")
+        elif span <= 0:
+            out.append(_SPARK_CHARS[0])
+        else:
+            index = min(len(_SPARK_CHARS) - 1, int((value - lo) / span * len(_SPARK_CHARS)))
+            out.append(_SPARK_CHARS[index])
+    return "".join(out)
+
+
+def _endpoints(values: Sequence[Optional[float]]) -> Tuple[Optional[float], Optional[float]]:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None, None
+    return present[0], present[-1]
+
+
+def _delta_suffix(first: Optional[float], last: Optional[float]) -> str:
+    if first is None or last is None:
+        return ""
+    if first == 0:
+        return ""
+    return f"  ({(last - first) / first:+.1%})"
+
+
+def _metric_row(name: str, values: Sequence[Optional[float]], unit: str) -> str:
+    first, last = _endpoints(values)
+
+    def fmt(value: Optional[float]) -> str:
+        if value is None:
+            return "-"
+        if unit == "ms":
+            return f"{value * 1e3:.1f} ms"
+        if unit == "Mb":
+            return f"{value:.2f} Mb"
+        return f"{value:g}"
+
+    return (
+        f"  {name:<24} {sparkline(values)}  "
+        f"{fmt(first)} -> {fmt(last)}{_delta_suffix(first, last)}"
+    )
+
+
+def render_trend(trend: Mapping) -> str:
+    """Human-readable trajectory report of one :func:`build_trend` doc.
+
+    One block per cell: sparkline + first→last (+delta%) rows for
+    ``wall_s``, every present wall phase, collected megabits, and the
+    work counters whose values actually changed across the window
+    (constant counters are summarised in one line — they are the
+    healthy case).
+    """
+    points = trend["points"]
+    lines = [f"perf trajectory: {len(points)} points, {len(trend['cells'])} cells"]
+    for index, point in enumerate(points):
+        bits = [str(point["label"])]
+        if point.get("recorded_at"):
+            bits.append(str(point["recorded_at"]))
+        if point.get("git_dirty"):
+            bits.append("dirty")
+        lines.append(f"  [{index}] {' · '.join(bits)}")
+    for cell in trend["cells"]:
+        lines.append("")
+        lines.append(f"{cell['cell']}:")
+        lines.append(_metric_row("wall_s", cell["wall_s"], "ms"))
+        for phase, series in cell["phases"].items():
+            lines.append(_metric_row(phase, series, "ms"))
+        lines.append(
+            _metric_row("collected_megabits", cell["collected_megabits"], "Mb")
+        )
+        constant = 0
+        for name, series in cell["counters"].items():
+            present = [v for v in series if v is not None]
+            if len(set(present)) > 1:
+                lines.append(_metric_row(name, series, ""))
+            else:
+                constant += 1
+        if constant:
+            lines.append(f"  ({constant} work counters unchanged)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# gating
+# ----------------------------------------------------------------------
+def _strictly_monotone(window: Sequence[float], sign: int) -> bool:
+    return all(
+        (b - a) * sign > 0 for a, b in zip(window, window[1:])
+    )
+
+
+def gate_trend(
+    trend: Mapping,
+    last: int = 3,
+    wall_noise_floor_s: float = 0.010,
+    wall_min_relative: float = 0.05,
+) -> Dict[str, object]:
+    """Grade the trend's last ``last`` points; returns the verdict doc.
+
+    A finding is raised per cell metric that worsened **strictly
+    monotonically** across the window — wall phases (and ``wall_s``)
+    must additionally worsen by more than ``wall_noise_floor_s``
+    absolute *and* ``wall_min_relative`` relative end to end (wall
+    clocks are noisy; counters and output are not, so they gate bare).
+    Cells or metrics with fewer than ``last`` recorded values are
+    skipped: a trend gate needs a trend.  ``{"ok": bool, "window": K,
+    "findings": [...]}`` comes back JSON-ready.
+    """
+    if last < 2:
+        raise ValueError(f"last must be >= 2, got {last}")
+    findings: List[Dict[str, object]] = []
+
+    def check(cell: Mapping, metric: str, series: Sequence[Optional[float]],
+              sign: int, kind: str, floor: bool) -> None:
+        window = [v for v in series[-last:] if v is not None]
+        if len(window) < last:
+            return
+        if not _strictly_monotone(window, sign):
+            return
+        drift = (window[-1] - window[0]) * sign
+        if floor:
+            if drift <= wall_noise_floor_s:
+                return
+            if window[0] > 0 and drift / window[0] <= wall_min_relative:
+                return
+        findings.append(
+            {
+                "kind": kind,
+                "cell": cell["cell"],
+                "metric": metric,
+                "window": list(window),
+                "detail": (
+                    f"{metric} {'rose' if sign > 0 else 'fell'} monotonically "
+                    f"across the last {last} entries: "
+                    + " -> ".join(f"{v:g}" for v in window)
+                ),
+            }
+        )
+
+    for cell in trend["cells"]:
+        check(cell, "wall_s", cell["wall_s"], +1, "wall", floor=True)
+        for phase, series in cell["phases"].items():
+            check(cell, phase, series, +1, "wall", floor=True)
+        for name, series in cell["counters"].items():
+            check(cell, name, series, +1, "counter", floor=False)
+        check(
+            cell,
+            "collected_megabits",
+            cell["collected_megabits"],
+            -1,
+            "output",
+            floor=False,
+        )
+    return {"ok": not findings, "window": last, "findings": findings}

@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.obs import timed
+from repro.obs import profile_phase, timed
 
 from .base import PLANNERS, PlanningError, SinkPlan, get_planner
 from .config import DEPLOYMENT_KINDS, PLANNER_KINDS, PlannerConfig
@@ -66,11 +66,13 @@ def plan_scenario(
     """Run the configured planner over one deployed field.
 
     Dispatches on ``config.kind`` and times the call under the
-    ``planner.plan`` timer; every planner also bumps ``planner.plans``
-    and the ``planner.*`` work counters it owns.
+    ``planner.plan`` timer (and, under an active
+    :class:`~repro.obs.profiling.DeepProfiler`, the ``plan``
+    attribution phase); every planner also bumps ``planner.plans`` and
+    the ``planner.*`` work counters it owns.
     """
     planner = get_planner(config.kind)
-    with timed("planner.plan"):
+    with timed("planner.plan"), profile_phase("plan"):
         return planner(
             config, positions, field_width, field_half_height, transmission_range
         )

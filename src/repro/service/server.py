@@ -59,7 +59,12 @@ from repro.obs.tracing import chrome_trace_document
 from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor, JobState, JobTimeoutError, QueueFullError
 from repro.service.schema import DEFAULT_MAX_SENSORS, RequestError, parse_solve_request
-from repro.service.worker import TRACE_EVENTS_KEY, WORKER_METRICS_KEY, solve_payload
+from repro.service.worker import (
+    FOLDED_STACKS_KEY,
+    TRACE_EVENTS_KEY,
+    WORKER_METRICS_KEY,
+    solve_payload,
+)
 from repro.sim.algorithms import ALGORITHMS, requires_fixed_power
 
 __all__ = ["PlanningService", "PlanningServer", "create_server", "run_server"]
@@ -70,12 +75,13 @@ _log = get_logger("service.server")
 MAX_BODY_BYTES = 1 << 20
 
 #: Result keys that never leave the process (merged/persisted first).
-_INTERNAL_RESULT_KEYS = (WORKER_METRICS_KEY, TRACE_EVENTS_KEY)
+_INTERNAL_RESULT_KEYS = (WORKER_METRICS_KEY, TRACE_EVENTS_KEY, FOLDED_STACKS_KEY)
 
 
 def _client_result(result: dict) -> dict:
     """A copy of a worker result with the internal telemetry keys
-    (registry dump, captured spans) stripped — the client-visible body."""
+    (registry dump, captured spans, folded stacks) stripped — the
+    client-visible body."""
     return {k: v for k, v in result.items() if k not in _INTERNAL_RESULT_KEYS}
 
 
@@ -171,9 +177,12 @@ class PlanningService:
 
     def _persist_trace(self, result: dict, elapsed_s: float) -> Optional[str]:
         """Write a slow request's captured solver spans as Chrome
-        ``trace_event`` JSON; returns the file path (annotated into the
-        access log as ``trace_path``), or ``None`` when the request was
-        fast enough or carried no spans."""
+        ``trace_event`` JSON — plus its flamegraph-folded stacks as
+        ``<request_id>.folded`` when the worker captured any; returns
+        the trace file path (annotated into the access log as
+        ``trace_path``; the folded path lands under ``folded_path``),
+        or ``None`` when the request was fast enough or carried no
+        spans."""
         if self.trace_threshold is None or elapsed_s < self.trace_threshold:
             return None
         events = result.get(TRACE_EVENTS_KEY)
@@ -184,6 +193,11 @@ class PlanningService:
         path = self.trace_dir / f"{name}.trace.json"
         path.write_text(chrome_trace_document(events), encoding="utf-8")
         annotate("trace_path", str(path))
+        folded = result.get(FOLDED_STACKS_KEY)
+        if folded:
+            folded_path = self.trace_dir / f"{name}.folded"
+            folded_path.write_text(folded, encoding="utf-8")
+            annotate("folded_path", str(folded_path))
         _log.info(
             "slow request (%.3f s >= %.3f s): trace written to %s",
             elapsed_s,

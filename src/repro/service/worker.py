@@ -16,9 +16,11 @@ executor folds it into the parent's service registry (real timer
 observations, not summaries), which is how ``GET /metrics`` sees
 solver-phase costs (``knapsack.solve``, ``mcmf.solve``, ``gap.*`` …)
 under load.  When the payload carries ``"trace": true`` the solve also
-runs under a recording :class:`~repro.obs.tracing.Tracer` and the span
-events come back under :data:`TRACE_EVENTS_KEY` for slow-request trace
-capture.  Both keys are internal: the server strips them from
+runs under a recording :class:`~repro.obs.tracing.Tracer` (span events
+come back under :data:`TRACE_EVENTS_KEY`) and a
+:class:`~repro.obs.profiling.DeepProfiler` (flamegraph-folded stacks
+come back under :data:`FOLDED_STACKS_KEY`) for slow-request capture.
+All three keys are internal: the server strips them from
 client-visible response bodies.
 """
 
@@ -27,6 +29,7 @@ from __future__ import annotations
 from contextlib import ExitStack
 
 from repro.core.lp import dcmp_lp_upper_bound
+from repro.obs.profiling import DeepProfiler, use_profiler
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.algorithms import get_algorithm
@@ -34,7 +37,12 @@ from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
 from repro.verify.certificate import certify
 
-__all__ = ["solve_payload", "WORKER_METRICS_KEY", "TRACE_EVENTS_KEY"]
+__all__ = [
+    "solve_payload",
+    "WORKER_METRICS_KEY",
+    "TRACE_EVENTS_KEY",
+    "FOLDED_STACKS_KEY",
+]
 
 #: Result key carrying the worker registry dump (internal; stripped
 #: from client responses after the executor merges it).
@@ -43,6 +51,10 @@ WORKER_METRICS_KEY = "worker_metrics"
 #: Result key carrying captured span events (internal; stripped from
 #: client responses after slow-request trace persistence).
 TRACE_EVENTS_KEY = "trace_events"
+
+#: Result key carrying flamegraph-folded stack text (internal; stripped
+#: from client responses after slow-request folded-stack persistence).
+FOLDED_STACKS_KEY = "folded_stacks"
 
 
 def solve_payload(payload: dict) -> dict:
@@ -68,11 +80,16 @@ def solve_payload(payload: dict) -> dict:
 
     registry = MetricsRegistry()
     tracer = Tracer() if capture_trace else None
+    # memory=False keeps tracemalloc (a process-wide interpreter hook)
+    # off the request path; function attribution is still captured.
+    profiler = DeepProfiler(memory=False) if capture_trace else None
     certificate = None
     with ExitStack() as stack:
         stack.enter_context(use_registry(registry))
         if tracer is not None:
             stack.enter_context(use_tracer(tracer))
+        if profiler is not None:
+            stack.enter_context(use_profiler(profiler))
         scenario = config.build(seed=seed)
         instance = scenario.instance()
         lp_bound_bits = float(dcmp_lp_upper_bound(instance))
@@ -124,4 +141,6 @@ def solve_payload(payload: dict) -> dict:
         doc["certificate"] = certificate.to_dict()
     if tracer is not None:
         doc[TRACE_EVENTS_KEY] = [event.as_dict() for event in tracer.events]
+    if profiler is not None:
+        doc[FOLDED_STACKS_KEY] = profiler.folded()
     return doc

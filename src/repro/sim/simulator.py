@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.energy.budget import BudgetPolicy, StoredEnergyBudgetPolicy
-from repro.obs import get_logger, get_registry, span
+from repro.obs import get_logger, get_registry, profile_phase, span
 from repro.sim.algorithms import TourAlgorithm
 from repro.sim.results import SimulationResult, TourResult
 from repro.sim.scenario import Scenario
@@ -78,7 +78,9 @@ def run_tour(
         Includes a ``profile`` dict with the per-phase wall-clock
         breakdown (instance build / solve / verify / energy update);
         the same phases are recorded as ``tour.*`` timers and spans on
-        the :mod:`repro.obs` registry and tracer.
+        the :mod:`repro.obs` registry and tracer, and — under an active
+        :class:`~repro.obs.profiling.DeepProfiler` (``repro profile
+        --deep``) — as function-level attribution windows.
     """
     if rest_time < 0:
         raise ValueError(f"rest_time must be >= 0, got {rest_time}")
@@ -91,18 +93,18 @@ def run_tour(
     registry.inc("tour.runs")
     t_start = time.perf_counter()
     with span("tour", tour=tour_index, algorithm=algorithm.name):
-        with span("tour.instance_build"):
+        with span("tour.instance_build"), profile_phase("instance_build"):
             instance = scenario.instance(policy, tour_index)
             budgets = np.array(
                 [instance.budget_of(i) for i in range(instance.num_sensors)]
             )
         t_built = time.perf_counter()
 
-        with span("tour.solve", algorithm=algorithm.name):
+        with span("tour.solve", algorithm=algorithm.name), profile_phase("solve"):
             allocation, messages = algorithm.run(instance, scenario.gamma)
         t_solved = time.perf_counter()
 
-        with span("tour.verify"):
+        with span("tour.verify"), profile_phase("verify"):
             allocation.check_feasible(instance)
             spent = allocation.energy_spent(instance)
         t_verified = time.perf_counter()
@@ -111,7 +113,9 @@ def run_tour(
         if certify:
             from repro.verify.certificate import certify as _certify
 
-            with span("tour.certify", algorithm=algorithm.name):
+            with span("tour.certify", algorithm=algorithm.name), profile_phase(
+                "certify"
+            ):
                 certificate = _certify(instance, allocation, algorithm=algorithm.name)
         t_certified = time.perf_counter()
 

@@ -174,6 +174,13 @@ def test_cli_accepts_bench_flags(tmp_path):
     assert args.repeat == 3 and args.label == "ci"
 
 
+def test_cli_bench_record_flag_forms():
+    parser = build_parser()
+    assert parser.parse_args(["bench"]).record is None
+    assert parser.parse_args(["bench", "--record"]).record == "benchmarks/history"
+    assert parser.parse_args(["bench", "--record", "hist"]).record == "hist"
+
+
 def test_cli_accepts_new_serve_flags(tmp_path):
     parser = build_parser()
     args = parser.parse_args(

@@ -128,6 +128,10 @@ class TestConfig:
         with pytest.raises(ValueError, match="selects no operations"):
             LoadTestConfig(mix={"solve": 0})
 
+    def test_rejects_bad_queue_sample_interval(self):
+        with pytest.raises(ValueError, match="queue_sample_interval_s"):
+            LoadTestConfig(queue_sample_interval_s=0.0)
+
     def test_cli_parser_has_loadtest_command(self):
         args = build_parser().parse_args(
             [
@@ -198,10 +202,17 @@ class TestRunLoadtest:
         assert healthz_cache["hits"] >= 1
         assert 0.0 <= healthz_cache["hit_rate"] <= 1.0
 
+        # The background sampler observed the executor queue at least
+        # once (it samples before its first wait).
+        depth = report["queue_depth"]
+        assert depth["samples"] >= 1
+        assert 0 <= depth["min"] <= depth["median"] <= depth["max"]
+
         # Report is a JSON document and renders without error.
         assert json.loads(json.dumps(report)) == report
         text = render_report(report)
         assert "cache hit-rate" in text
+        assert "server queue depth:" in text
         assert "no SLOs asserted" in text
 
     def test_jobs_scenario_round_trips(self, served):
@@ -266,3 +277,7 @@ class TestRunLoadtest:
         assert report["slo"]["passed"] is False
         assert report["server"]["scraped"] is False
         assert "not scraped" in render_report(report) or "unavailable" in render_report(report)
+        # No healthz reachable: the queue-depth block degrades to a
+        # sample count of zero and the render omits the line.
+        assert report["queue_depth"] == {"samples": 0}
+        assert "server queue depth" not in render_report(report)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -686,11 +687,22 @@ class TestTraceCapture:
         events = doc["traceEvents"]
         assert events and all(e["ph"] == "X" for e in events)
         assert {"tour", "tour.solve"} <= {e["name"] for e in events}
-        # The access-log line points at the persisted trace.
+        # The folded stacks land next to the Chrome trace.
+        folded_path = trace_dir / "traced-81.folded"
+        assert folded_path.exists()
+        folded_lines = folded_path.read_text(encoding="utf-8").splitlines()
+        assert folded_lines
+        for line in folded_lines:
+            assert re.match(r"^\S+(?:;\S+)* \d+$", line), line
+        assert any(line.startswith("solve") for line in folded_lines)
+        # The access-log line points at both persisted artifacts.
         [entry] = [json.loads(l) for l in lines if "traced-81" in l]
         assert entry["trace_path"] == str(trace_path)
+        assert entry["folded_path"] == str(folded_path)
         # Client body still clean of internal keys.
-        assert "trace_events" not in json.loads(body)
+        client_doc = json.loads(body)
+        assert "trace_events" not in client_doc
+        assert "folded_stacks" not in client_doc
 
     def test_cached_solve_does_not_rewrite_trace(self, traced_server):
         port, service, trace_dir = traced_server

@@ -183,10 +183,28 @@ def _golden_snapshot():
             "knapsack.method[dp]": 1.0,
             "service.http.status[200]": 7.0,
             "service.http.status[404]": 1.0,
+            "planner.plans": 2.0,
+            "planner.sweep.segments": 11.0,
+            "planner.multisink.splits": 1.0,
             "2weird name!": 2.0,
         },
-        "gauges": {"service.queue.depth": 3.0, "lp.num_vars": 1234.0},
+        "gauges": {
+            "service.queue.depth": 3.0,
+            "lp.num_vars": 1234.0,
+            "planner.tour_length_m": 1500.0,
+            "planner.sinks": 1.0,
+        },
         "timers": {
+            "planner.plan": {
+                "count": 2,
+                "total_s": 0.01,
+                "min_s": 0.004,
+                "max_s": 0.006,
+                "mean_s": 0.005,
+                "p50_s": 0.004,
+                "p95_s": 0.006,
+                "p99_s": 0.006,
+            },
             "knapsack.solve": {
                 "count": 100,
                 "total_s": 0.5,
@@ -325,6 +343,76 @@ def test_null_registry_merge_is_noop():
     null = NullRegistry()
     null.merge({"counters": {"x": 1}})
     assert null.counter("x") == 0.0
+
+
+def test_merge_preserves_raw_samples_for_quantiles():
+    # 19 fast worker observations + 1 slow one: a merge that shipped
+    # summaries instead of raw samples could not recover the true p99.
+    parent = MetricsRegistry()
+    direct = MetricsRegistry()
+    for _ in range(19):
+        worker = MetricsRegistry()
+        worker.observe("knapsack.solve", 0.01)
+        parent.merge(worker.dump())
+        direct.observe("knapsack.solve", 0.01)
+    slow = MetricsRegistry()
+    slow.observe("knapsack.solve", 1.0)
+    parent.merge(slow.dump())
+    direct.observe("knapsack.solve", 1.0)
+
+    stats = parent.timer_stats("knapsack.solve")
+    assert stats.count == 20
+    assert stats.p99 == pytest.approx(1.0)
+    assert stats.p50 == pytest.approx(0.01)
+    assert stats.max == pytest.approx(1.0)
+    assert stats.as_dict() == direct.timer_stats("knapsack.solve").as_dict()
+
+
+def test_merge_order_invariance():
+    dumps = []
+    for values in ([0.1, 0.2], [0.9], [0.3, 0.4, 0.5]):
+        worker = MetricsRegistry()
+        worker.inc("knapsack.calls", len(values))
+        for v in values:
+            worker.observe("knapsack.solve", v)
+        dumps.append(worker.dump())
+
+    forward = MetricsRegistry()
+    backward = MetricsRegistry()
+    for dump in dumps:
+        forward.merge(dump)
+    for dump in reversed(dumps):
+        backward.merge(dump)
+    assert forward.counter("knapsack.calls") == backward.counter("knapsack.calls")
+    assert (
+        forward.timer_stats("knapsack.solve").as_dict()
+        == backward.timer_stats("knapsack.solve").as_dict()
+    )
+
+
+def test_dump_is_a_snapshot_not_a_view():
+    worker = MetricsRegistry()
+    worker.inc("knapsack.calls")
+    worker.observe("knapsack.solve", 0.1)
+    dump = worker.dump()
+    worker.inc("knapsack.calls", 10)
+    worker.observe("knapsack.solve", 9.9)
+    parent = MetricsRegistry()
+    parent.merge(dump)
+    assert parent.counter("knapsack.calls") == 1
+    assert parent.timer_stats("knapsack.solve").count == 1
+    assert parent.timer_stats("knapsack.solve").max == pytest.approx(0.1)
+
+
+def test_repeated_merges_sum_counters():
+    worker = MetricsRegistry()
+    worker.inc("knapsack.calls", 4)
+    dump = worker.dump()
+    parent = MetricsRegistry()
+    parent.merge(dump)
+    parent.merge(dump)
+    parent.merge(dump)
+    assert parent.counter("knapsack.calls") == 12
 
 
 # ----------------------------------------------------------------------
