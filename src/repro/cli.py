@@ -322,6 +322,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on unfinished jobs (429 beyond it)",
     )
     serve.add_argument(
+        "--max-batch-items",
+        type=int,
+        default=32,
+        help="largest /v1/solve-batch request accepted (400 beyond it)",
+    )
+    serve.add_argument(
         "--trace-threshold",
         type=float,
         default=None,
@@ -906,6 +912,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         request_timeout=args.request_timeout,
         max_queue=args.max_queue,
+        max_batch_items=args.max_batch_items,
         registry=registry,
         trace_threshold=args.trace_threshold,
         trace_dir=args.trace_dir,

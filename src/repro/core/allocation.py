@@ -117,29 +117,41 @@ class Allocation:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    def _assigned(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(slots, sensors)`` arrays of the assigned pairs, slot-ascending."""
+        slots = np.flatnonzero(self.slot_owner != UNASSIGNED)
+        return slots, self.slot_owner[slots]
+
     def collected_bits(self, instance: DataCollectionInstance) -> float:
         """The paper's objective: ``Σ x_{i,j} · r_{i,j} · tau`` in bits."""
+        slots, sensors = self._assigned()
+        # Vectorised profit lookup, but plain sequential summation in
+        # slot order — bit-identical to the scalar reference (np.sum's
+        # pairwise accumulation would drift in the last ulps).
         total = 0.0
-        for j, sensor in enumerate(self.slot_owner):
-            if sensor != UNASSIGNED:
-                total += instance.profit(int(sensor), j)
+        for v in instance.pair_profits(sensors, slots).tolist():
+            total += v
         return total
 
     def energy_spent(self, instance: DataCollectionInstance) -> np.ndarray:
         """``(n,)`` joules each sensor spends under this allocation."""
-        spent = np.zeros(instance.num_sensors)
-        for j, sensor in enumerate(self.slot_owner):
-            if sensor != UNASSIGNED:
-                spent[int(sensor)] += instance.cost(int(sensor), j)
-        return spent
+        slots, sensors = self._assigned()
+        # bincount accumulates in occurrence (slot) order per sensor —
+        # the same sequential adds as the scalar loop.
+        return np.bincount(
+            sensors,
+            weights=instance.pair_costs(sensors, slots),
+            minlength=instance.num_sensors,
+        )
 
     def per_sensor_bits(self, instance: DataCollectionInstance) -> np.ndarray:
         """``(n,)`` bits collected from each sensor (fairness metrics)."""
-        bits = np.zeros(instance.num_sensors)
-        for j, sensor in enumerate(self.slot_owner):
-            if sensor != UNASSIGNED:
-                bits[int(sensor)] += instance.profit(int(sensor), j)
-        return bits
+        slots, sensors = self._assigned()
+        return np.bincount(
+            sensors,
+            weights=instance.pair_profits(sensors, slots),
+            minlength=instance.num_sensors,
+        )
 
     # ------------------------------------------------------------------
     # Feasibility (constraints (1)-(4) of Section II.D)
@@ -161,26 +173,35 @@ class Allocation:
                 f"allocation horizon {self.num_slots} != instance horizon {instance.num_slots}"
             )
             return problems
-        spent = np.zeros(instance.num_sensors)
-        for j, sensor in enumerate(self.slot_owner):
-            if sensor == UNASSIGNED:
-                continue
-            s = int(sensor)
-            if not 0 <= s < instance.num_sensors:
-                problems.append(f"slot {j}: unknown sensor {s}")
-                continue
-            window = instance.window_of(s)
-            if window is None or j not in window:
-                problems.append(f"slot {j}: outside A(v_{s}) = {window}")
-                continue
-            spent[s] += instance.cost(s, j)
-        for i in range(instance.num_sensors):
-            budget = instance.budget_of(i)
-            if spent[i] > budget + _BUDGET_EPS:
-                problems.append(
-                    f"sensor {i}: energy {spent[i]:.9f} J exceeds budget "
-                    f"{budget:.9f} J by {spent[i] - budget:.3e} J"
-                )
+        slots, sensors = self._assigned()
+        known = (sensors >= 0) & (sensors < instance.num_sensors)
+        starts, ends = instance.window_bounds()
+        sensors_safe = np.where(known, sensors, 0)
+        in_window = known & (slots >= starts[sensors_safe]) & (slots <= ends[sensors_safe])
+        bad = ~in_window
+        if np.any(bad):
+            # Message order matches the scalar sweep: ascending slot.
+            for j, s, ok in zip(
+                slots[bad].tolist(), sensors[bad].tolist(), known[bad].tolist()
+            ):
+                if not ok:
+                    problems.append(f"slot {j}: unknown sensor {s}")
+                else:
+                    problems.append(
+                        f"slot {j}: outside A(v_{s}) = {instance.window_of(s)}"
+                    )
+        spent = np.bincount(
+            sensors[in_window],
+            weights=instance.pair_costs(sensors[in_window], slots[in_window]),
+            minlength=instance.num_sensors,
+        )
+        budgets = instance.budgets_array()
+        over = np.flatnonzero(spent > budgets + _BUDGET_EPS)
+        for i in over.tolist():
+            problems.append(
+                f"sensor {i}: energy {spent[i]:.9f} J exceeds budget "
+                f"{budgets[i]:.9f} J by {spent[i] - budgets[i]:.3e} J"
+            )
         return problems
 
     def check_feasible(self, instance: DataCollectionInstance) -> None:

@@ -12,11 +12,15 @@ sophistication buys.  All baselines return feasible allocations.
   competitor that can still afford the slot.
 * :func:`round_robin_allocation` — cycle through competitors per slot,
   a contention-free TDMA-flavoured strawman.
+
+Pair enumeration and ranking run on the instance's cached flat pair
+arrays (one masked filter + one ``lexsort``); only the inherently
+sequential budget-debiting scans stay as loops, over plain-float lists.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -32,24 +36,30 @@ __all__ = [
 ]
 
 
-def _all_pairs(instance: DataCollectionInstance) -> List[Tuple[int, int, float, float]]:
-    """Every positive-profit (sensor, slot, profit, cost) tuple."""
-    pairs = []
-    for i, data in enumerate(instance.sensors):
-        if data.window is None:
-            continue
-        slots = data.slot_indices()
-        profits = data.rates * instance.slot_duration
-        costs = data.powers * instance.slot_duration
-        for k in np.flatnonzero(profits > 0):
-            pairs.append((i, int(slots[k]), float(profits[k]), float(costs[k])))
-    return pairs
+def _positive_pairs(
+    instance: DataCollectionInstance,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Every positive-profit pair as ``(sensor, slot, profit, cost)``
+    arrays — one masked filter over the flat pair arrays."""
+    flat = instance.flat_pairs()
+    keep = flat.profits > 0
+    return flat.sensor[keep], flat.slot[keep], flat.profits[keep], flat.costs[keep]
 
 
-def _greedy(instance: DataCollectionInstance, ranked) -> Allocation:
+def _greedy(
+    instance: DataCollectionInstance,
+    sensors: np.ndarray,
+    slots: np.ndarray,
+    costs: np.ndarray,
+) -> Allocation:
+    """Assign ranked pairs greedily under per-sensor budgets.
+
+    The scan is inherently sequential (each grant changes the budget the
+    next decision sees), so it runs over plain-float lists.
+    """
     owner = np.full(instance.num_slots, -1, dtype=np.int64)
-    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
-    for sensor, slot, profit, cost in ranked:
+    budgets = instance.budgets_array().copy()
+    for sensor, slot, cost in zip(sensors.tolist(), slots.tolist(), costs.tolist()):
         if owner[slot] == -1 and cost <= budgets[sensor] + 1e-12:
             owner[slot] = sensor
             budgets[sensor] -= cost
@@ -58,21 +68,20 @@ def _greedy(instance: DataCollectionInstance, ranked) -> Allocation:
 
 def greedy_by_profit(instance: DataCollectionInstance) -> Allocation:
     """Assign pairs in decreasing profit order."""
-    pairs = _all_pairs(instance)
-    pairs.sort(key=lambda rec: (-rec[2], rec[1], rec[0]))
-    return _greedy(instance, pairs)
+    sensors, slots, profits, costs = _positive_pairs(instance)
+    # lexsort: last key primary — (-profit, slot, sensor) ascending,
+    # i.e. profit descending with deterministic tie-breaks.
+    order = np.lexsort((sensors, slots, -profits))
+    return _greedy(instance, sensors[order], slots[order], costs[order])
 
 
 def greedy_by_density(instance: DataCollectionInstance) -> Allocation:
     """Assign pairs in decreasing profit/cost order (cost-free pairs first)."""
-    pairs = _all_pairs(instance)
-
-    def density(rec: Tuple[int, int, float, float]) -> float:
-        _, _, profit, cost = rec
-        return profit / cost if cost > 0 else np.inf
-
-    pairs.sort(key=lambda rec: (-density(rec), rec[1], rec[0]))
-    return _greedy(instance, pairs)
+    sensors, slots, profits, costs = _positive_pairs(instance)
+    with np.errstate(divide="ignore"):
+        density = np.where(costs > 0, profits / np.where(costs > 0, costs, 1.0), np.inf)
+    order = np.lexsort((sensors, slots, -density))
+    return _greedy(instance, sensors[order], slots[order], costs[order])
 
 
 def random_allocation(
@@ -81,18 +90,19 @@ def random_allocation(
     """Per slot, a uniformly random affordable competitor (or idle)."""
     rng = as_generator(seed)
     owner = np.full(instance.num_slots, -1, dtype=np.int64)
-    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    budgets = instance.budgets_array().copy()
+    bounds, sensors_g, profits_g, costs_g = instance._slot_grouped()
+    edges = bounds.tolist()
     for j in range(instance.num_slots):
-        affordable = [
-            int(i)
-            for i in instance.slot_competitors(j)
-            if instance.profit(int(i), j) > 0
-            and instance.cost(int(i), j) <= budgets[int(i)] + 1e-12
-        ]
-        if affordable:
-            pick = affordable[int(rng.integers(len(affordable)))]
+        lo, hi = edges[j], edges[j + 1]
+        comp = sensors_g[lo:hi]
+        ok = (profits_g[lo:hi] > 0) & (costs_g[lo:hi] <= budgets[comp] + 1e-12)
+        affordable = comp[ok]
+        if affordable.size:
+            k = int(rng.integers(affordable.size))
+            pick = int(affordable[k])
             owner[j] = pick
-            budgets[pick] -= instance.cost(pick, j)
+            budgets[pick] -= costs_g[lo:hi][ok][k]
     return Allocation(owner)
 
 
@@ -103,21 +113,23 @@ def round_robin_allocation(instance: DataCollectionInstance) -> Allocation:
     sensors — the classic fairness-first strawman.
     """
     owner = np.full(instance.num_slots, -1, dtype=np.int64)
-    budgets = np.array([instance.budget_of(i) for i in range(instance.num_sensors)])
+    budgets = instance.budgets_array().copy()
+    bounds, sensors_g, profits_g, costs_g = instance._slot_grouped()
+    edges = bounds.tolist()
     cursor = 0
     for j in range(instance.num_slots):
-        comp = [
-            int(i)
-            for i in instance.slot_competitors(j)
-            if instance.profit(int(i), j) > 0
-        ]
+        lo, hi = edges[j], edges[j + 1]
+        positive = profits_g[lo:hi] > 0
+        comp = sensors_g[lo:hi][positive].tolist()
         if not comp:
             continue
+        costs_j = costs_g[lo:hi][positive].tolist()
         for offset in range(len(comp)):
-            cand = comp[(cursor + offset) % len(comp)]
-            if instance.cost(cand, j) <= budgets[cand] + 1e-12:
+            k = (cursor + offset) % len(comp)
+            cand = comp[k]
+            if costs_j[k] <= budgets[cand] + 1e-12:
                 owner[j] = cand
-                budgets[cand] -= instance.cost(cand, j)
+                budgets[cand] -= costs_j[k]
                 cursor += offset + 1
                 break
     return Allocation(owner)

@@ -26,6 +26,7 @@ from repro.core.allocation import Allocation
 from repro.core.instance import DataCollectionInstance
 from repro.core.matching import max_weight_b_matching
 from repro.core.offline_maxmatch import fixed_power_of
+from repro.utils.arrays import ragged_arange
 
 __all__ = ["CopiesGraph", "build_copies_graph", "maxmatch_via_copies"]
 
@@ -94,30 +95,36 @@ def build_copies_graph(
     tau = instance.slot_duration
     per_slot_energy = fixed_power * tau
 
-    copy_owner: List[int] = []
-    copy_counts = np.zeros(instance.num_sensors, dtype=np.int64)
-    edges: List[Tuple[int, int, float]] = []
-    for i, data in enumerate(instance.sensors):
-        if data.window is None:
-            continue
-        affordable = int(np.floor(data.budget / per_slot_energy + 1e-12))
-        n_copies = min(data.num_slots, affordable)
-        if gamma is not None:
-            n_copies = min(n_copies, gamma)
-        if n_copies <= 0:
-            continue
-        copy_counts[i] = n_copies
-        first_copy = len(copy_owner)
-        copy_owner.extend([i] * n_copies)
-        slots = data.slot_indices()
-        for k in np.flatnonzero(data.rates > 0):
-            weight = float(data.rates[k]) * tau
-            for c in range(n_copies):
-                edges.append((first_copy + c, int(slots[k]), weight))
+    flat = instance.flat_pairs()
+    _, ends = instance.window_bounds()
+    window_sizes = flat.offsets[1:] - flat.offsets[:-1]
+    affordable = np.floor(
+        instance.budgets_array() / per_slot_energy + 1e-12
+    ).astype(np.int64)
+    copy_counts = np.minimum(window_sizes, affordable)
+    if gamma is not None:
+        np.minimum(copy_counts, gamma, out=copy_counts)
+    np.maximum(copy_counts, 0, out=copy_counts)
+    copy_counts[ends < 0] = 0  # unreachable sensors contribute nothing
+    first_copy = np.concatenate([[0], np.cumsum(copy_counts)[:-1]])
+
+    copy_owner = np.repeat(
+        np.arange(instance.num_sensors, dtype=np.int64), copy_counts
+    )
+    # Edge fan-out: each positive-rate pair of an eligible sensor yields
+    # one edge per copy, in (sensor asc, slot asc, copy asc) order —
+    # exactly the scalar triple loop's ordering.
+    keep = (flat.rates > 0) & (copy_counts[flat.sensor] > 0)
+    pair_sensors = flat.sensor[keep]
+    reps = copy_counts[pair_sensors]
+    copy_ids = np.repeat(first_copy[pair_sensors], reps) + ragged_arange(reps)
+    slot_ids = np.repeat(flat.slot[keep], reps)
+    weights = np.repeat(flat.rates[keep] * tau, reps)
+    edges = tuple(zip(copy_ids.tolist(), slot_ids.tolist(), weights.tolist()))
     return CopiesGraph(
-        copy_owner=np.asarray(copy_owner, dtype=np.int64),
+        copy_owner=copy_owner,
         copy_counts=copy_counts,
-        edges=tuple(edges),
+        edges=edges,
         num_slots=instance.num_slots,
     )
 

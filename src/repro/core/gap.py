@@ -18,19 +18,25 @@ for ``j`` (possibly going negative — such items are simply never
 selected later), and bin ``l`` leaves the game.  A final backward sweep
 resolves conflicts: ``S_l = S̄_l \\ ∪_{j>l} S_j``.
 
+The residual table lives in **one flat array** (all bins concatenated);
+each round's decomposition is a single fancy-indexed subtraction over
+the chosen items' occupancy ranges, so a round costs O(updates) array
+work instead of a nested Python loop.
+
 The module is independent of the sensor-network semantics so it can be
 tested against textbook GAP instances directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.knapsack import KnapsackResult, solve_knapsack
 from repro.obs import get_registry
+from repro.utils.arrays import group_offsets, ragged_arange
 
 __all__ = ["GapBin", "GapInstance", "GapSolution", "local_ratio_gap"]
 
@@ -70,6 +76,29 @@ class GapBin:
         object.__setattr__(self, "profits", profits)
         object.__setattr__(self, "weights", weights)
 
+    @classmethod
+    def _trusted(
+        cls,
+        capacity: float,
+        items: np.ndarray,
+        profits: np.ndarray,
+        weights: np.ndarray,
+        items_ascending: Optional[bool] = None,
+    ) -> "GapBin":
+        """Construct without validation — for bulk reductions whose
+        invariants (int64/float64 1-D arrays of equal length, distinct
+        items, capacity ≥ 0) hold by construction.  ``items_ascending``
+        pre-answers the "strictly ascending items" probe so
+        :meth:`GapInstance._items_sorted` can skip the per-bin scan."""
+        b = object.__new__(cls)
+        object.__setattr__(b, "capacity", capacity)
+        object.__setattr__(b, "items", items)
+        object.__setattr__(b, "profits", profits)
+        object.__setattr__(b, "weights", weights)
+        if items_ascending is not None:
+            object.__setattr__(b, "_items_ascending", items_ascending)
+        return b
+
 
 class GapInstance:
     """A GAP instance: bins with per-bin candidate items.
@@ -81,17 +110,36 @@ class GapInstance:
 
     def __init__(self, bins: Sequence[GapBin]):
         self.bins: Tuple[GapBin, ...] = tuple(bins)
-        num_items = 0
-        for b in self.bins:
-            if b.items.size:
-                num_items = max(num_items, int(b.items.max()) + 1)
-        self.num_items = num_items
-        # Reverse index: item -> [(bin, position-in-bin), ...]
-        occupancy: List[List[Tuple[int, int]]] = [[] for _ in range(num_items)]
-        for bi, b in enumerate(self.bins):
-            for pos, item in enumerate(b.items):
-                occupancy[int(item)].append((bi, pos))
-        self._occupancy = occupancy
+        sizes = np.fromiter(
+            (b.items.size for b in self.bins), np.int64, count=len(self.bins)
+        )
+        self._bin_offsets = group_offsets(sizes)
+        total = int(self._bin_offsets[-1])
+        if total:
+            all_items = np.concatenate([b.items for b in self.bins])
+        else:
+            all_items = np.zeros(0, dtype=np.int64)
+        self.num_items = int(all_items.max()) + 1 if total else 0
+        # Reverse index, flat: occupancy entry k says item _occ_item[k]
+        # appears in bin _occ_bin[k] at position _occ_pos[k].  Stable
+        # sort by item keeps entries (bin, pos)-ascending within an
+        # item, exactly the old list-of-lists iteration order.
+        all_bins = np.repeat(np.arange(len(self.bins), dtype=np.int64), sizes)
+        all_pos = ragged_arange(sizes)
+        order = np.argsort(all_items, kind="stable")
+        self._occ_item = all_items[order]
+        self._occ_bin = all_bins[order]
+        self._occ_pos = all_pos[order]
+        self._occ_bounds = np.searchsorted(
+            self._occ_item, np.arange(self.num_items + 1, dtype=np.int64)
+        )
+        self._occ_counts = self._occ_bounds[1:] - self._occ_bounds[:-1]
+        # Flat index of each occupancy entry into a bins-concatenated
+        # residual array (what local_ratio_gap iterates over).
+        self._occ_flat = self._bin_offsets[self._occ_bin] + self._occ_pos
+        # Per-bin "items sorted strictly ascending" flags let
+        # profit_of_assignment use searchsorted lookups (lazy).
+        self._sorted_items: Optional[np.ndarray] = None
 
     @property
     def num_bins(self) -> int:
@@ -101,7 +149,24 @@ class GapInstance:
     def bins_containing(self, item: int) -> List[Tuple[int, int]]:
         """``[(bin, position)]`` pairs whose candidate set includes
         ``item``."""
-        return self._occupancy[item]
+        lo, hi = self._occ_bounds[item], self._occ_bounds[item + 1]
+        return list(
+            zip(self._occ_bin[lo:hi].tolist(), self._occ_pos[lo:hi].tolist())
+        )
+
+    def _items_sorted(self, bi: int) -> bool:
+        if self._sorted_items is None:
+            self._sorted_items = np.fromiter(
+                (
+                    hinted
+                    if (hinted := getattr(b, "_items_ascending", None)) is not None
+                    else bool(np.all(np.diff(b.items) > 0))
+                    for b in self.bins
+                ),
+                np.bool_,
+                count=len(self.bins),
+            )
+        return bool(self._sorted_items[bi])
 
     def profit_of_assignment(self, assignment: Dict[int, Sequence[int]]) -> float:
         """Total profit of ``{bin: [items...]}`` (raises on non-candidate
@@ -109,9 +174,35 @@ class GapInstance:
         total = 0.0
         for bi, items in assignment.items():
             b = self.bins[bi]
-            lookup = {int(item): k for k, item in enumerate(b.items)}
-            for item in items:
-                total += float(b.profits[lookup[int(item)]])
+            items = list(items)
+            if not items:
+                continue
+            if b.items.size == 0:
+                raise KeyError(int(items[0]))
+            if self._items_sorted(bi):
+                wanted = np.asarray(items, dtype=np.int64)
+                pos = np.searchsorted(b.items, wanted)
+                try:
+                    hit = b.items[pos]
+                except IndexError:
+                    # Some position fell past the end: at least one item
+                    # is not a candidate here.  Re-derive the first bad
+                    # entry (mismatch or overflow, whichever comes
+                    # first) so the error matches the clipped lookup.
+                    pos_clipped = np.minimum(pos, b.items.size - 1)
+                    bad = (pos >= b.items.size) | (b.items[pos_clipped] != wanted)
+                    raise KeyError(int(wanted[int(np.argmax(bad))])) from None
+                bad = hit != wanted
+                if np.any(bad):
+                    raise KeyError(int(wanted[int(np.argmax(bad))]))
+                values = b.profits[pos].tolist()
+            else:
+                lookup = {int(item): k for k, item in enumerate(b.items)}
+                values = [float(b.profits[lookup[int(item)]]) for item in items]
+            # Sequential accumulation in item order (bit-identical to the
+            # scalar reference).
+            for v in values:
+                total += v
         return total
 
 
@@ -174,29 +265,67 @@ def local_ratio_gap(
 
     registry = get_registry()
     with registry.timed("gap.local_ratio"):
-        # Residual profit per (bin, position); starts at the true profits.
-        residual: List[np.ndarray] = [b.profits.astype(np.float64).copy() for b in instance.bins]
+        # Residual profit over all (bin, position) entries, flat; bin l
+        # occupies [bin_offsets[l], bin_offsets[l+1]).
+        offsets = instance._bin_offsets
+        total = int(offsets[-1])
+        if total:
+            residual = np.concatenate(
+                [b.profits for b in instance.bins]
+            ).astype(np.float64)
+        else:
+            residual = np.zeros(0, dtype=np.float64)
+        occ_bin = instance._occ_bin
+        occ_bounds = instance._occ_bounds
+        occ_counts_all = instance._occ_counts
+        occ_flat = instance._occ_flat
+        offsets_list = offsets.tolist()
+
         tentative: Dict[int, List[int]] = {}
         residual_updates = 0
 
         for l in order:
             b = instance.bins[l]
-            result = knapsack_solver(residual[l], b.weights, b.capacity)
-            chosen_positions = list(result.selected)
-            tentative[l] = [int(b.items[pos]) for pos in chosen_positions]
-            # Decompose: subtract bin l's residual profit of each chosen item
-            # from every other bin containing that item (equation (5)).
-            for pos in chosen_positions:
-                item = int(b.items[pos])
-                delta = float(residual[l][pos])
-                if delta <= 0.0:
-                    continue
-                for (bi, bpos) in instance.bins_containing(item):
-                    if bi != l:
-                        residual[bi][bpos] -= delta
-                        residual_updates += 1
+            lo, hi = offsets_list[l], offsets_list[l + 1]
+            result = knapsack_solver(residual[lo:hi], b.weights, b.capacity)
+            chosen = result.selected
+            # Decompose: subtract bin l's residual profit of each chosen
+            # item from every other bin containing that item (equation
+            # (5)).  Each (item, other-bin) entry is touched exactly
+            # once per round, so one fancy-indexed subtraction is
+            # arithmetically identical to the scalar loop.
+            if chosen:
+                items_list = b.items.tolist()
+                tentative[l] = [items_list[k] for k in chosen]
+                chosen_positions = np.fromiter(chosen, np.int64, count=len(chosen))
+                deltas = residual[lo + chosen_positions]
+                positive = deltas > 0.0
+                if positive.all():
+                    # The default solver only selects positive-residual
+                    # items, so this is the near-universal path.
+                    items_chosen = b.items[chosen_positions]
+                elif positive.any():
+                    items_chosen = b.items[chosen_positions[positive]]
+                    deltas = deltas[positive]
+                else:
+                    items_chosen = None
+                if items_chosen is not None:
+                    occ_counts = occ_counts_all[items_chosen]
+                    # repeat(occ_lo, c) + ragged_arange(c), fused: shift
+                    # each range start by its exclusive prefix offset.
+                    bounds = np.cumsum(occ_counts)
+                    starts = bounds - occ_counts
+                    occ_idx = np.repeat(
+                        occ_bounds[items_chosen] - starts, occ_counts
+                    ) + np.arange(int(bounds[-1]), dtype=np.int64)
+                    keep = occ_bin[occ_idx] != l
+                    targets = occ_flat[occ_idx[keep]]
+                    residual[targets] -= np.repeat(deltas, occ_counts)[keep]
+                    residual_updates += int(targets.size)
+            else:
+                tentative[l] = []
             # Bin l leaves the game.
-            residual[l][:] = -np.inf
+            residual[lo:hi] = -np.inf
 
         # Backward conflict resolution: S_l = S̄_l \ U_{later} S.
         taken: set = set()

@@ -25,8 +25,9 @@ return a :class:`KnapsackResult`.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +41,10 @@ __all__ = [
     "knapsack_fptas",
     "solve_knapsack",
 ]
+
+#: Enumerations at most this large run as a plain-float odometer loop
+#: inside :func:`knapsack_few_weights`; larger ones vectorise.
+_SCALAR_ENUM_CUTOFF = 32
 
 
 @dataclass(frozen=True)
@@ -87,12 +92,28 @@ def _result(indices: Sequence[int], profits: np.ndarray, weights: np.ndarray,
             chosen: Sequence[int]) -> KnapsackResult:
     """Assemble a result from *local* chosen positions."""
     chosen = sorted(chosen)
-    sel = tuple(int(indices[k]) for k in chosen)
+    sel = tuple(np.asarray(indices)[chosen].tolist())
+    # Plain sequential summation (matches the scalar reference oracle
+    # bit-for-bit; np.sum's pairwise accumulation would not).
     return KnapsackResult(
         sel,
-        float(sum(profits[k] for k in chosen)),
-        float(sum(weights[k] for k in chosen)),
+        float(sum(profits[chosen].tolist())),
+        float(sum(weights[chosen].tolist())),
     )
+
+
+def _result_from_lists(
+    indices: List[int], profits: List[float], weights: List[float],
+    chosen: List[int],
+) -> KnapsackResult:
+    """List-based twin of :func:`_result` (same sequential summation)."""
+    chosen = sorted(chosen)
+    profit = 0.0
+    weight = 0.0
+    for k in chosen:
+        profit += profits[k]
+        weight += weights[k]
+    return KnapsackResult(tuple(indices[k] for k in chosen), profit, weight)
 
 
 # ----------------------------------------------------------------------
@@ -113,14 +134,18 @@ def knapsack_greedy(
     with np.errstate(divide="ignore"):
         density = np.where(w > 0, p / np.where(w > 0, w, 1.0), np.inf)
     order = np.argsort(-density, kind="stable")
+    # The pack loop is inherently sequential (each decision depends on
+    # the running remainder); plain-float lists keep it cheap.
+    w_list = w.tolist()
+    p_list = p.tolist()
     chosen: List[int] = []
     remaining = float(capacity)
     total = 0.0
-    for k in order:
-        if w[k] <= remaining:
-            chosen.append(int(k))
-            remaining -= float(w[k])
-            total += float(p[k])
+    for k in order.tolist():
+        if w_list[k] <= remaining:
+            chosen.append(k)
+            remaining -= w_list[k]
+            total += p_list[k]
     best_single = int(np.argmax(p))
     if p[best_single] > total:
         return _result(idx, p, w, [best_single])
@@ -149,77 +174,188 @@ def knapsack_few_weights(
     ``max_combinations`` — callers should fall back to branch-and-bound
     or the FPTAS then (``solve_knapsack`` automates this).
     """
-    idx, p, w = _clean(profits, weights, capacity)
-    if idx.size == 0:
+    profits = np.asarray(profits, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if profits.shape != weights.shape or profits.ndim != 1:
+        raise ValueError(
+            f"profits and weights must be equal-length 1-D, got {profits.shape}/{weights.shape}"
+        )
+    # The item sets here are tiny (the GAP bins hand us a few dozen
+    # items in ≤ 4 weight classes), so the filter and the whole solve
+    # run on plain-float lists — the same IEEE double arithmetic as the
+    # array form, without per-call array-allocation overhead.  The scan
+    # covers every item, so a negative weight raises even when the item
+    # would have been filtered; NaNs fail both keep-tests, exactly like
+    # the array comparisons they replace.
+    p_all = profits.tolist()
+    w_all = weights.tolist()
+    idx_list: List[int] = []
+    p_list: List[float] = []
+    w_list: List[float] = []
+    for k, w in enumerate(w_all):
+        if w < 0.0:
+            raise ValueError("weights must be non-negative")
+        if p_all[k] > 0.0 and w <= capacity:
+            idx_list.append(k)
+            p_list.append(p_all[k])
+            w_list.append(w)
+    n = len(idx_list)
+    if n == 0:
         return KnapsackResult.empty()
 
-    classes: List[Tuple[float, np.ndarray, np.ndarray]] = []
-    for weight_value in np.unique(w):
-        members = np.flatnonzero(w == weight_value)
-        order = members[np.argsort(-p[members], kind="stable")]
-        prefix = np.concatenate([[0.0], np.cumsum(p[order])])
-        classes.append((float(weight_value), order, prefix))
+    # Fast path: one distinct positive weight (the common shape once the
+    # local-ratio residuals thin a bin out).  The optimum is simply the
+    # top-``⌊capacity/w⌋`` profits — identical to what the general
+    # machinery below reduces to when there is a single non-zero class.
+    w0 = w_list[0]
+    if w0 > 0.0 and (n == 1 or min(w_list) == max(w_list)):
+        members = sorted(range(n), key=lambda k: -p_list[k])
+        g_count = min(n, int(capacity / w0 + 1e-12))
+        if g_count < 0:
+            g_count = 0
+        return _result_from_lists(idx_list, p_list, w_list, members[:g_count])
 
-    # Zero-weight positive-profit items are free: always take them all.
+    # Group by weight (classes weight-ascending; members profit-desc
+    # with ascending-index ties — identical ordering to a stable
+    # per-class argsort).  Zero-weight positive-profit items are free:
+    # always take them all.
+    groups: Dict[float, List[int]] = {}
+    for k in range(n):
+        groups.setdefault(w_list[k], []).append(k)
     base_profit = 0.0
     base_chosen: List[int] = []
-    classes_nz = []
-    for weight_value, order, prefix in classes:
+    classes_nz: List[Tuple[float, List[int], List[float]]] = []
+    for weight_value in sorted(groups):
+        members = sorted(groups[weight_value], key=lambda k: -p_list[k])
+        prefix = [0.0]
+        acc = 0.0
+        for k in members:
+            acc += p_list[k]
+            prefix.append(acc)
         if weight_value == 0.0:
-            base_profit += float(prefix[-1])
-            base_chosen.extend(int(k) for k in order)
+            base_profit += acc
+            base_chosen.extend(members)
         else:
-            classes_nz.append((weight_value, order, prefix))
+            classes_nz.append((weight_value, members, prefix))
 
     if not classes_nz:
-        return _result(idx, p, w, base_chosen)
+        return _result_from_lists(idx_list, p_list, w_list, base_chosen)
 
     # Enumerate every class except the one with the most members (the
     # greedy-filled class), keeping the search space minimal.
-    sizes = [len(order) for _, order, _ in classes_nz]
-    greedy_class = int(np.argmax(sizes))
+    sizes = [len(members) for _, members, _ in classes_nz]
+    greedy_class = max(range(len(sizes)), key=sizes.__getitem__)
     enum_classes = [c for k, c in enumerate(classes_nz) if k != greedy_class]
-    g_weight, g_order, g_prefix = classes_nz[greedy_class]
+    g_weight, g_members, g_prefix = classes_nz[greedy_class]
+    g_size = len(g_members)
 
     # Cap per-class counts by what the budget alone allows, shrinking the
     # enumeration before it is materialised.
     limits = [
-        min(len(order), int(capacity / weight_value + 1e-12))
-        for weight_value, order, _ in enum_classes
+        min(len(members), int(capacity / weight_value + 1e-12))
+        for weight_value, members, _ in enum_classes
     ]
-    combos = int(np.prod([lim + 1 for lim in limits])) if enum_classes else 1
+    combos = 1
+    for lim in limits:
+        combos *= lim + 1
     if combos > max_combinations:
         raise ValueError(
             f"few-weights enumeration too large ({combos} > {max_combinations})"
         )
 
-    # Vectorised enumeration: one flat axis per enumerated class.
-    if enum_classes:
-        grids = np.meshgrid(
-            *[np.arange(lim + 1, dtype=np.int64) for lim in limits], indexing="ij"
+    # Enumerate count vectors in row-major flat order (first class
+    # slowest, last fastest); ties on total profit keep the earliest
+    # combination.  Small enumerations run as a plain-float odometer
+    # loop (most GAP bins land here — per-call numpy overhead would
+    # dominate); large ones fall through to the vectorised form.  Both
+    # paths accumulate in the same class order, so they agree bit for
+    # bit.
+    enum_weights = [c[0] for c in enum_classes]
+    enum_prefixes = [c[2] for c in enum_classes]
+    cap_slack = capacity + 1e-12
+    if combos > _SCALAR_ENUM_CUTOFF:
+        # Broadcasted outer sums over one axis per class: element
+        # [c_0, ..., c_{m-1}] accumulates class contributions in the
+        # same left-associative order as the flat form, and C-order
+        # flattening reproduces the flat enumeration order exactly
+        # (first class slowest), so ties resolve identically.
+        shape = tuple(lim + 1 for lim in limits)
+        rank = len(shape)
+        used_weight: Optional[np.ndarray] = None
+        profit_acc: Optional[np.ndarray] = None
+        for k, (lim, weight_value, prefix) in enumerate(
+            zip(limits, enum_weights, enum_prefixes)
+        ):
+            axis = (1,) * k + (lim + 1,) + (1,) * (rank - 1 - k)
+            class_weight = (
+                np.arange(lim + 1, dtype=np.int64) * weight_value
+            ).reshape(axis)
+            # prefix may be longer than lim + 1 when the budget caps the
+            # class count below its member count — only the reachable
+            # head participates.
+            class_profit = np.asarray(prefix[: lim + 1]).reshape(axis)
+            used_weight = (
+                class_weight if used_weight is None
+                else used_weight + class_weight
+            )
+            profit_acc = (
+                base_profit + class_profit if profit_acc is None
+                else profit_acc + class_profit
+            )
+        g_count_arr = np.minimum(
+            g_size,
+            np.floor((capacity - used_weight) / g_weight + 1e-12).astype(np.int64),
         )
-        counts_flat = [g.reshape(-1) for g in grids]
+        np.maximum(g_count_arr, 0, out=g_count_arr)
+        total = np.where(
+            used_weight <= cap_slack,
+            profit_acc + np.asarray(g_prefix)[g_count_arr],
+            -np.inf,
+        )
+        best_flat = int(np.argmax(total))
+        best_counts = [int(c) for c in np.unravel_index(best_flat, shape)]
+        best_g = int(g_count_arr.reshape(-1)[best_flat])
     else:
-        counts_flat = []
-    used_weight = np.zeros(combos)
-    profit_acc = np.full(combos, base_profit)
-    for counts_k, (weight_value, _, prefix) in zip(counts_flat, enum_classes):
-        used_weight += counts_k * weight_value
-        profit_acc += prefix[counts_k]
-    feasible = used_weight <= capacity + 1e-12
-    g_count = np.minimum(
-        len(g_order),
-        np.floor((capacity - used_weight) / g_weight + 1e-12).astype(np.int64),
-    )
-    g_count = np.maximum(g_count, 0)
-    total = np.where(feasible, profit_acc + g_prefix[g_count], -np.inf)
-    best_flat = int(np.argmax(total))
+        best_total = -math.inf
+        best_counts = [0] * len(enum_classes)
+        best_g = 0
+        counts = [0] * len(enum_classes)
+        last = len(counts) - 1
+        while True:
+            used_weight = 0.0
+            profit_acc = base_profit
+            for k in range(len(counts)):
+                ct = counts[k]
+                used_weight += ct * enum_weights[k]
+                profit_acc += enum_prefixes[k][ct]
+            if used_weight <= cap_slack:
+                g_count = min(
+                    g_size,
+                    int(math.floor((capacity - used_weight) / g_weight + 1e-12)),
+                )
+                if g_count < 0:
+                    g_count = 0
+                total = profit_acc + g_prefix[g_count]
+                if total > best_total:
+                    best_total = total
+                    best_counts = counts.copy()
+                    best_g = g_count
+            # Advance the odometer (last class fastest).
+            pos = last
+            while pos >= 0:
+                if counts[pos] < limits[pos]:
+                    counts[pos] += 1
+                    break
+                counts[pos] = 0
+                pos -= 1
+            if pos < 0:
+                break
 
     chosen = list(base_chosen)
-    for counts_k, (_, order, _) in zip(counts_flat, enum_classes):
-        chosen.extend(int(item) for item in order[: int(counts_k[best_flat])])
-    chosen.extend(int(item) for item in g_order[: int(g_count[best_flat])])
-    return _result(idx, p, w, chosen)
+    for ct, (_, members, _) in zip(best_counts, enum_classes):
+        chosen.extend(members[:ct])
+    chosen.extend(g_members[:best_g])
+    return _result_from_lists(idx_list, p_list, w_list, chosen)
 
 
 # ----------------------------------------------------------------------

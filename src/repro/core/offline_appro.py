@@ -34,30 +34,32 @@ def dcmp_to_gap(instance: DataCollectionInstance) -> GapInstance:
     Bin ``i`` = sensor ``v_i`` with capacity ``P(v_i)``; its candidate
     items are the slots of ``A(v_i)`` with profit ``r_{i,j}·τ`` and
     weight ``P_{i,j}·τ``.
+
+    The reduction is memoised on the (immutable) instance: repeated
+    solves over the same instance reuse the bins and occupancy index.
     """
-    tau = instance.slot_duration
-    bins = []
-    for i in range(instance.num_sensors):
-        data = instance.sensors[i]
-        if data.window is None:
-            bins.append(
-                GapBin(
-                    capacity=data.budget,
-                    items=np.zeros(0, dtype=np.int64),
-                    profits=np.zeros(0),
-                    weights=np.zeros(0),
-                )
-            )
-        else:
-            bins.append(
-                GapBin(
-                    capacity=data.budget,
-                    items=data.window.slots(),
-                    profits=data.rates * tau,
-                    weights=data.powers * tau,
-                )
-            )
-    return GapInstance(bins)
+    cached = getattr(instance, "_dcmp_gap", None)
+    if cached is not None:
+        return cached
+    flat = instance.flat_pairs()
+    edges = flat.offsets.tolist()
+    # Zero-copy views of the instance's flat pair arrays; the invariants
+    # GapBin validates (distinct int64 items, aligned float64 arrays,
+    # capacity >= 0) hold by construction, so the trusted constructor
+    # skips the per-bin validation pass.
+    bins = [
+        GapBin._trusted(
+            data.budget,
+            flat.slot[edges[i] : edges[i + 1]],
+            flat.profits[edges[i] : edges[i + 1]],
+            flat.costs[edges[i] : edges[i + 1]],
+            items_ascending=True,  # window slots are consecutive
+        )
+        for i, data in enumerate(instance.sensors)
+    ]
+    gap = GapInstance(bins)
+    instance._dcmp_gap = gap
+    return gap
 
 
 def offline_appro(
@@ -117,22 +119,22 @@ def _augment(instance: DataCollectionInstance, allocation: Allocation) -> Alloca
     """Greedy post-pass: fill unassigned slots within residual budgets."""
     owner = allocation.slot_owner.copy()
     owner.flags.writeable = True
-    residual = np.array(
-        [instance.budget_of(i) for i in range(instance.num_sensors)]
-    ) - allocation.energy_spent(instance)
+    residual = instance.budgets_array() - allocation.energy_spent(instance)
+    bounds, sensors_g, profits_g, costs_g = instance._slot_grouped()
+    edges = bounds.tolist()
     for j in range(instance.num_slots):
         if owner[j] != -1:
             continue
-        best_sensor = -1
-        best_profit = 0.0
-        for i in instance.slot_competitors(j):
-            i = int(i)
-            cost = instance.cost(i, j)
-            profit = instance.profit(i, j)
-            if profit > best_profit and cost <= residual[i] + 1e-12:
-                best_profit = profit
-                best_sensor = i
-        if best_sensor >= 0:
+        lo, hi = edges[j], edges[j + 1]
+        comp = sensors_g[lo:hi]
+        prof = profits_g[lo:hi]
+        cost = costs_g[lo:hi]
+        # Affordable positive-profit competitors; argmax returns the
+        # first (= lowest sensor id) maximum, matching the scalar scan.
+        ok = (prof > 0.0) & (cost <= residual[comp] + 1e-12)
+        if np.any(ok):
+            k = int(np.flatnonzero(ok)[int(np.argmax(prof[ok]))])
+            best_sensor = int(comp[k])
             owner[j] = best_sensor
-            residual[best_sensor] -= instance.cost(best_sensor, j)
+            residual[best_sensor] -= cost[k]
     return Allocation(owner)

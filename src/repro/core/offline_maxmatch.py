@@ -70,19 +70,23 @@ def build_matching_edges(
         fixed_power = fixed_power_of(instance)
     tau = instance.slot_duration
     per_slot_energy = fixed_power * tau
-    edges: List[Tuple[int, int, float]] = []
-    caps = np.zeros(instance.num_sensors, dtype=np.int64)
-    for i, data in enumerate(instance.sensors):
-        if data.window is None:
-            continue
-        affordable = int(np.floor(data.budget / per_slot_energy + 1e-12))
-        caps[i] = min(data.num_slots, affordable)
-        if caps[i] <= 0:
-            caps[i] = 0
-            continue
-        slots = data.slot_indices()
-        for k in np.flatnonzero(data.rates > 0):
-            edges.append((i, int(slots[k]), float(data.rates[k]) * tau))
+    flat = instance.flat_pairs()
+    window_sizes = flat.offsets[1:] - flat.offsets[:-1]
+    affordable = np.floor(
+        instance.budgets_array() / per_slot_energy + 1e-12
+    ).astype(np.int64)
+    caps = np.minimum(window_sizes, affordable)
+    np.maximum(caps, 0, out=caps)
+    # One masked pass over the flat pairs, (sensor asc, slot asc) like
+    # the scalar loop.
+    keep = (flat.rates > 0) & (caps[flat.sensor] > 0)
+    edges = list(
+        zip(
+            flat.sensor[keep].tolist(),
+            flat.slot[keep].tolist(),
+            (flat.rates[keep] * tau).tolist(),
+        )
+    )
     return edges, caps
 
 

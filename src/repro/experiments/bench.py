@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.planning import PlannerConfig
 from repro.sim.algorithms import ALGORITHMS, get_algorithm, requires_fixed_power
+from repro.sim.batch import TourSpec, run_tours
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.simulator import run_tour
 
@@ -80,6 +81,27 @@ PLANNER_MAX_OFFSET = 300.0
 PLANNER_SINK_SPEED = 10.0
 #: Algorithm solved on the designed tours (the paper's main offline one).
 PLANNER_ALGORITHM = "Offline_Appro"
+
+#: Scale cell: the paper's largest population (Section VII.A's n = 600)
+#: on the full 10 km path, solved by the flagship offline algorithm.
+#: This is the cell the array-core speedup ledger (docs/PERFORMANCE.md)
+#: tracks — big enough that ``instance_build_s + solve_s`` measures the
+#: solver core, not fixed overheads.  Runs in both grids.
+SCALE_GRID: Tuple[Tuple[str, int, float], ...] = (("Offline_Appro", 600, 10_000.0),)
+
+#: Algorithms of the ``Batch[mixed]`` cell: the paper's offline
+#: algorithm plus the three deterministic baselines, all solving the
+#: *same* 600-sensor deployment through one shared instance
+#: (:func:`repro.sim.batch.run_tours`), so the cell tracks the
+#: shared-prep batch path end to end.
+BATCH_ALGORITHMS: Tuple[str, ...] = (
+    "Offline_Appro",
+    "Baseline[greedy_profit]",
+    "Baseline[greedy_density]",
+    "Baseline[round_robin]",
+)
+#: (num_sensors, path_length) of the ``Batch[mixed]`` cell (both grids).
+BATCH_GRID: Tuple[Tuple[int, float], ...] = ((600, 10_000.0),)
 
 
 def _git(*args: str) -> Optional[str]:
@@ -165,6 +187,62 @@ def _bench_cell(
     return entry
 
 
+def _bench_batch_cell(
+    num_sensors: int,
+    path_length: float,
+    seed: int,
+    repeat: int,
+) -> Dict[str, object]:
+    """The ``Batch[mixed]`` cell: all :data:`BATCH_ALGORITHMS` solved
+    over one shared instance via :func:`repro.sim.batch.run_tours`.
+
+    ``collected_megabits`` and the ``profile`` phases are summed across
+    the batch's tours (so the output gate covers every algorithm at
+    once); the shared per-deployment build cost appears as the
+    ``prepare_s`` phase.  ``wall_s`` spans the whole batch.
+    """
+    config = ScenarioConfig(num_sensors=num_sensors, path_length=path_length)
+    specs = [TourSpec(config=config, algorithm=name, seed=seed) for name in BATCH_ALGORITHMS]
+    runs: List[Tuple[float, Dict[str, object], list, float]] = []
+    for _ in range(repeat):
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        with use_registry(registry):
+            results = run_tours(specs)
+        wall_s = time.perf_counter() - t0
+        prepare_s = registry.timer_stats("batch.prepare").total
+        runs.append((wall_s, registry.snapshot(), results, prepare_s))
+    walls = sorted(wall for wall, _, _, _ in runs)
+    best_wall, snapshot, results, prepare_s = min(runs, key=lambda run: run[0])
+    profile: Dict[str, float] = {}
+    for result in results:
+        for phase, seconds in result.profile.items():
+            profile[phase] = profile.get(phase, 0.0) + float(seconds)
+    profile["prepare_s"] = float(prepare_s)
+    entry: Dict[str, object] = {
+        "algorithm": "Batch[mixed]",
+        "num_sensors": config.num_sensors,
+        "path_length": config.path_length,
+        "fixed_power": config.fixed_power,
+        "seed": seed,
+        "wall_s": best_wall,
+        "collected_megabits": float(
+            sum(result.collected_megabits for result in results)
+        ),
+        "profile": profile,
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+    }
+    if repeat > 1:
+        entry["wall_stats"] = {
+            "repeats": repeat,
+            "min_s": walls[0],
+            "median_s": statistics.median(walls),
+            "max_s": walls[-1],
+        }
+    return entry
+
+
 def run_bench(
     quick: bool = False,
     seed: int = 7,
@@ -173,6 +251,8 @@ def run_bench(
     repeat: int = 1,
     label: Optional[str] = None,
     planner_grid: Optional[Sequence[Tuple[str, int, float]]] = None,
+    scale_grid: Optional[Sequence[Tuple[str, int, float]]] = None,
+    batch_grid: Optional[Sequence[Tuple[int, float]]] = None,
 ) -> Dict[str, object]:
     """Run the benchmark grid; returns the JSON-ready document.
 
@@ -187,16 +267,25 @@ def run_bench(
     Planner cells (``Planner[plane_sweep]`` / ``Planner[multi_sink]``)
     run the plan → solve pipeline over a 2D field; they join the
     default grids automatically and can be overridden (or silenced with
-    ``()``) via ``planner_grid``.  When ``grid`` or ``algorithms`` is
-    overridden, planner cells only run if ``planner_grid`` is given —
+    ``()``) via ``planner_grid``.  The scale cell (:data:`SCALE_GRID`,
+    the paper's n = 600 on the 10 km path) and the ``Batch[mixed]``
+    cell (:data:`BATCH_GRID`, all of :data:`BATCH_ALGORITHMS` over one
+    shared instance) join the same way via ``scale_grid`` /
+    ``batch_grid``.  When ``grid`` or ``algorithms`` is overridden,
+    these extra cells only run if their grid is given explicitly —
     shrunk test runs stay shrunk.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     cells = tuple(grid) if grid is not None else (QUICK_GRID if quick else FULL_GRID)
     names = list(algorithms) if algorithms is not None else sorted(ALGORITHMS)
-    if planner_grid is None and grid is None and algorithms is None:
-        planner_grid = PLANNER_QUICK_GRID if quick else PLANNER_FULL_GRID
+    if grid is None and algorithms is None:
+        if planner_grid is None:
+            planner_grid = PLANNER_QUICK_GRID if quick else PLANNER_FULL_GRID
+        if scale_grid is None:
+            scale_grid = SCALE_GRID
+        if batch_grid is None:
+            batch_grid = BATCH_GRID
     entries: List[Dict[str, object]] = []
     for num_sensors, path_length in cells:
         for name in names:
@@ -224,6 +313,15 @@ def run_bench(
                 extra_phases=("planner.plan",),
             )
         )
+    for name, num_sensors, path_length in scale_grid or ():
+        config = ScenarioConfig(
+            num_sensors=num_sensors,
+            path_length=path_length,
+            fixed_power=FIXED_POWER if requires_fixed_power(name) else None,
+        )
+        entries.append(_bench_cell(name, config, seed, repeat))
+    for num_sensors, path_length in batch_grid or ():
+        entries.append(_bench_batch_cell(num_sensors, path_length, seed, repeat))
     return {
         "format": BENCH_FORMAT,
         "version": BENCH_VERSION,

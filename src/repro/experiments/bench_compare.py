@@ -14,7 +14,8 @@ path_length)`` — and grades three families of differences:
   counts, …): machine-independent, so the default tolerance is **exact
   match** (0 % drift).  More work than before is a regression; less
   work is reported as an improvement; a counter that disappears
-  entirely is a warning (likely lost instrumentation, not saved work);
+  entirely — or appears out of nowhere — is a warning (likely lost or
+  added instrumentation, not a work change);
 * **output** (``collected_megabits``): the solvers are deterministic
   given the seed, so any relative drift beyond ``output_tolerance``
   (default 1e-9) is a correctness regression, not noise.
@@ -186,6 +187,22 @@ def _compare_counters(
                     old,
                     new,
                     f"counter vanished ({old:g} -> 0); lost instrumentation?",
+                )
+            )
+            continue
+        if name not in old_counters:
+            # Symmetric to vanishing: a counter the old document never
+            # recorded is new instrumentation, not new work — warn so
+            # it is visible, but don't gate on it.
+            findings.append(
+                _finding(
+                    "counter",
+                    "warning",
+                    cell,
+                    name,
+                    old,
+                    new,
+                    f"counter appeared (absent -> {new:g}); new instrumentation?",
                 )
             )
             continue

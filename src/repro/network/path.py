@@ -138,22 +138,19 @@ class SinkTrajectory:
         """
         lo, hi = self.path.coverage_window(np.atleast_2d(xy), transmission_range)
         offset = _ANCHOR_OFFSET[self.anchor]
-        windows = []
-        for lo_i, hi_i in zip(lo, hi):
-            if lo_i > hi_i:
-                windows.append(None)
-                continue
-            # anchor arc of slot j is (j + offset) * slot_len; we need
-            # lo <= (j + offset) * slot_len <= hi
-            first = int(np.ceil(lo_i / self._slot_length_m - offset - 1e-12))
-            last = int(np.floor(hi_i / self._slot_length_m - offset + 1e-12))
-            first = max(first, 0)
-            last = min(last, self._num_slots - 1)
-            if first > last:
-                windows.append(None)
-            else:
-                windows.append(SlotInterval(first, last))
-        return windows
+        # anchor arc of slot j is (j + offset) * slot_len; we need
+        # lo <= (j + offset) * slot_len <= hi
+        first = np.ceil(lo / self._slot_length_m - offset - 1e-12).astype(np.int64)
+        last = np.floor(hi / self._slot_length_m - offset + 1e-12).astype(np.int64)
+        np.maximum(first, 0, out=first)
+        np.minimum(last, self._num_slots - 1, out=last)
+        empty = (lo > hi) | (first > last)
+        return [
+            None if empty_i else SlotInterval(int(first_i), int(last_i))
+            for empty_i, first_i, last_i in zip(
+                empty.tolist(), first.tolist(), last.tolist()
+            )
+        ]
 
     def probe_interval(self, index: int, transmission_range: float) -> SlotInterval:
         """Slot window ``[a_j, b_j]`` of the ``index``-th probe interval.

@@ -22,14 +22,20 @@ scenario pins ``fixed_power`` (Section VI's special case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Tuple
 
 from repro.planning import PlannerConfig
 from repro.service.cache import solve_cache_key
 from repro.sim.algorithms import requires_fixed_power, resolve_algorithm_name
 from repro.sim.scenario import ScenarioConfig
 
-__all__ = ["RequestError", "SolveRequest", "parse_solve_request"]
+__all__ = [
+    "RequestError",
+    "SolveRequest",
+    "parse_solve_request",
+    "parse_batch_request",
+    "DEFAULT_MAX_BATCH_ITEMS",
+]
 
 #: Top-level request fields the schema understands.  ``planner`` is
 #: sugar for ``scenario.planner`` — it merges into the scenario config,
@@ -40,6 +46,11 @@ _REQUEST_FIELDS = ("scenario", "algorithm", "seed", "certify", "planner")
 
 #: Service-side guard against absurd problem sizes (a 400, not a crash).
 DEFAULT_MAX_SENSORS = 20_000
+
+#: Items one ``POST /v1/solve-batch`` body may carry.  A batch occupies
+#: one worker slot for its whole duration, so the cap bounds head-of-line
+#: blocking, not memory.
+DEFAULT_MAX_BATCH_ITEMS = 32
 
 
 class RequestError(Exception):
@@ -191,3 +202,53 @@ def parse_solve_request(
         )
 
     return SolveRequest(config=config, algorithm=algorithm, seed=seed, certify=certify)
+
+
+def parse_batch_request(
+    doc: object,
+    max_sensors: int = DEFAULT_MAX_SENSORS,
+    max_items: int = DEFAULT_MAX_BATCH_ITEMS,
+) -> Tuple[SolveRequest, ...]:
+    """Validate a ``POST /v1/solve-batch`` body into solve requests.
+
+    The wire shape is ``{"items": [<solve body>, ...]}`` — each item the
+    exact ``POST /v1/solve`` shape, validated by
+    :func:`parse_solve_request` with any error re-raised with the item's
+    index prefixed (``items[3]: …``) so clients can pinpoint the bad
+    item.  Raises :class:`RequestError` on a non-object body, unknown
+    top-level fields, a missing/non-array/empty ``items`` list, or more
+    than ``max_items`` items.
+    """
+    if not isinstance(doc, Mapping):
+        raise RequestError(
+            f"request body must be a JSON object, got {type(doc).__name__}"
+        )
+    unknown = sorted(set(doc) - {"items"})
+    if unknown:
+        raise RequestError(
+            f"unknown request field(s): {', '.join(unknown)}; expected items",
+            field=unknown[0],
+        )
+    items = doc.get("items")
+    if not isinstance(items, (list, tuple)):
+        raise RequestError(
+            f"'items' must be a JSON array, got {type(items).__name__}",
+            field="items",
+        )
+    if not items:
+        raise RequestError("'items' must not be empty", field="items")
+    if len(items) > max_items:
+        raise RequestError(
+            f"too many batch items ({len(items)} > {max_items})", field="items"
+        )
+    requests = []
+    for position, item in enumerate(items):
+        try:
+            requests.append(parse_solve_request(item, max_sensors=max_sensors))
+        except RequestError as exc:
+            raise RequestError(
+                f"items[{position}]: {exc.message}",
+                status=exc.status,
+                field=f"items[{position}]" + (f".{exc.field}" if exc.field else ""),
+            ) from None
+    return tuple(requests)

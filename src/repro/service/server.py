@@ -16,6 +16,9 @@ Two layers, separable for testing:
                             ``Accept: text/plain``
   ``GET  /v1/algorithms``   registered algorithms + fixed-power requirements
   ``POST /v1/solve``        synchronous solve (cache → coalesce → worker pool)
+  ``POST /v1/solve-batch``  synchronous multi-solve: per-item cache checks,
+                            one worker job for the misses (scenarios shared
+                            per deployment), per-item cache stores
   ``POST /v1/jobs``         asynchronous submit; returns a pollable job id
   ``GET  /v1/jobs/{id}``    job state; includes the result once done
   ``DELETE /v1/jobs/{id}``  cancel a queued job
@@ -58,11 +61,18 @@ from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.tracing import chrome_trace_document
 from repro.service.cache import ResultCache
 from repro.service.executor import JobExecutor, JobState, JobTimeoutError, QueueFullError
-from repro.service.schema import DEFAULT_MAX_SENSORS, RequestError, parse_solve_request
+from repro.service.schema import (
+    DEFAULT_MAX_BATCH_ITEMS,
+    DEFAULT_MAX_SENSORS,
+    RequestError,
+    parse_batch_request,
+    parse_solve_request,
+)
 from repro.service.worker import (
     FOLDED_STACKS_KEY,
     TRACE_EVENTS_KEY,
     WORKER_METRICS_KEY,
+    solve_batch_payload,
     solve_payload,
 )
 from repro.sim.algorithms import ALGORITHMS, requires_fixed_power
@@ -102,6 +112,9 @@ class PlanningService:
         :class:`~repro.service.executor.QueueFullError` (HTTP 429).
     max_sensors:
         Schema-level cap on ``num_sensors`` (HTTP 400 beyond it).
+    max_batch_items:
+        Cap on items per ``POST /v1/solve-batch`` body (HTTP 400
+        beyond it); a batch holds one worker slot for its whole run.
     registry:
         Metrics registry for the ``service.*`` instrumentation.
         ``None`` adopts the process-global registry if it records, else
@@ -125,6 +138,7 @@ class PlanningService:
         request_timeout: Optional[float] = 30.0,
         max_queue: int = 32,
         max_sensors: int = DEFAULT_MAX_SENSORS,
+        max_batch_items: int = DEFAULT_MAX_BATCH_ITEMS,
         registry: Optional[MetricsRegistry] = None,
         trace_threshold: Optional[float] = None,
         trace_dir: Optional[str] = None,
@@ -137,6 +151,7 @@ class PlanningService:
         self.registry = registry
         self.request_timeout = request_timeout
         self.max_sensors = max_sensors
+        self.max_batch_items = max_batch_items
         self.trace_threshold = trace_threshold
         self.trace_dir = (
             None
@@ -232,6 +247,52 @@ class PlanningService:
             clean = _client_result(result)
             self.cache.put(key, clean)
             return {**clean, "cached": False}
+
+    def solve_batch(self, doc: object) -> dict:
+        """Synchronous batch solve of a decoded JSON body.
+
+        Every item is first checked against the result cache (the same
+        content-addressed keys ``POST /v1/solve`` uses, so single and
+        batch solves interoperate); the misses become **one** worker job
+        (:func:`~repro.service.worker.solve_batch_payload`) that builds
+        each distinct ``(scenario, seed)`` deployment once and shares it
+        across that deployment's algorithms.  Each fresh result is
+        stored under its own cache key, so replaying the batch — or any
+        single item of it — hits the cache.  Returns ``{"results":
+        [...], "items": N, "cache_hits": H}`` with per-item ``cached``
+        flags, results in item order.
+        """
+        with self.registry.timed("service.request"):
+            requests = parse_batch_request(
+                doc, max_sensors=self.max_sensors, max_items=self.max_batch_items
+            )
+            results: list = [None] * len(requests)
+            misses = []
+            for position, request in enumerate(requests):
+                cached = self.cache.get(request.cache_key())
+                if cached is not None:
+                    results[position] = {**cached, "cached": True}
+                else:
+                    misses.append(position)
+            annotate("batch_items", len(requests))
+            annotate("batch_misses", len(misses))
+            if misses:
+                payload = {
+                    "items": [requests[position].payload() for position in misses]
+                }
+                job, _created = self.executor.submit(solve_batch_payload, payload)
+                annotate("job_id", job.id)
+                with self.registry.timed("service.solve"):
+                    outcome = self.executor.wait(job, timeout=self.request_timeout)
+                for position, item in zip(misses, outcome["results"]):
+                    clean = _client_result(item)
+                    self.cache.put(requests[position].cache_key(), clean)
+                    results[position] = {**clean, "cached": False}
+            return {
+                "results": results,
+                "items": len(requests),
+                "cache_hits": len(requests) - len(misses),
+            }
 
     def submit_job(self, doc: object) -> dict:
         """Asynchronous submit of a decoded JSON body.
@@ -455,6 +516,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._dispatch(
                 "solve",
                 lambda: self._send_json(200, self.service.solve(self._read_json())),
+            )
+        elif path == "/v1/solve-batch":
+            self._dispatch(
+                "solve_batch",
+                lambda: self._send_json(
+                    200, self.service.solve_batch(self._read_json())
+                ),
             )
         elif path == "/v1/jobs":
             self._dispatch(

@@ -27,18 +27,20 @@ client-visible response bodies.
 from __future__ import annotations
 
 from contextlib import ExitStack
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.lp import dcmp_lp_upper_bound
 from repro.obs.profiling import DeepProfiler, use_profiler
 from repro.obs.registry import MetricsRegistry, use_registry
 from repro.obs.tracing import Tracer, use_tracer
 from repro.sim.algorithms import get_algorithm
-from repro.sim.scenario import ScenarioConfig
+from repro.sim.scenario import Scenario, ScenarioConfig
 from repro.sim.simulator import run_tour
 from repro.verify.certificate import certify
 
 __all__ = [
     "solve_payload",
+    "solve_batch_payload",
     "WORKER_METRICS_KEY",
     "TRACE_EVENTS_KEY",
     "FOLDED_STACKS_KEY",
@@ -55,6 +57,73 @@ TRACE_EVENTS_KEY = "trace_events"
 #: Result key carrying flamegraph-folded stack text (internal; stripped
 #: from client responses after slow-request folded-stack persistence).
 FOLDED_STACKS_KEY = "folded_stacks"
+
+
+def _solve_one(
+    scenario: Scenario,
+    instance,
+    lp_bound_bits: float,
+    config: ScenarioConfig,
+    algorithm: str,
+    seed: Optional[int],
+    want_certificate: bool,
+) -> dict:
+    """One solve over an already-built scenario/instance/LP bound.
+
+    The single source of the per-solve response document: both
+    :func:`solve_payload` and every item of :func:`solve_batch_payload`
+    assemble their client-visible bodies here, so batch item results
+    are interchangeable with single-solve results (and their cache
+    entries interoperate).
+    """
+    result = run_tour(
+        scenario, get_algorithm(algorithm), mutate=False, instance=instance
+    )
+    certificate = None
+    if want_certificate:
+        certificate = certify(
+            instance,
+            result.allocation,
+            algorithm=algorithm,
+            lp_bound_bits=lp_bound_bits,
+        )
+    messages = result.messages.summary() if result.messages is not None else None
+    doc = {
+        "algorithm": algorithm,
+        "seed": seed,
+        "scenario": config.to_dict(),
+        "collected_bits": float(result.collected_bits),
+        "collected_megabits": float(result.collected_megabits),
+        "lp_bound_bits": lp_bound_bits,
+        "lp_bound_fraction": (
+            float(result.collected_bits) / lp_bound_bits if lp_bound_bits else 0.0
+        ),
+        "num_slots": int(instance.num_slots),
+        "gamma": int(scenario.gamma),
+        "schedule": [int(owner) for owner in result.allocation.slot_owner],
+        "total_energy_spent_j": float(result.total_energy_spent),
+        "messages": messages,
+        "profile": {k: float(v) for k, v in result.profile.items()},
+    }
+    if scenario.plan is not None:
+        # Summary only (kind, per-sink tour lengths, planner meta) — the
+        # full waypoint geometry is `repro plan`'s job, not the solve
+        # response's.  Planner-less responses are unchanged.
+        plan_doc = scenario.plan.to_dict()
+        doc["plan"] = {
+            k: plan_doc[k]
+            for k in (
+                "kind",
+                "num_sinks",
+                "path_length_m",
+                "total_tour_length_m",
+                "tour_lengths_m",
+                "meta",
+            )
+        }
+    if certificate is not None:
+        doc["certificate"] = certificate.to_dict()
+    return doc
 
 
 def solve_payload(payload: dict) -> dict:
@@ -83,7 +152,6 @@ def solve_payload(payload: dict) -> dict:
     # memory=False keeps tracemalloc (a process-wide interpreter hook)
     # off the request path; function attribution is still captured.
     profiler = DeepProfiler(memory=False) if capture_trace else None
-    certificate = None
     with ExitStack() as stack:
         stack.enter_context(use_registry(registry))
         if tracer is not None:
@@ -93,54 +161,62 @@ def solve_payload(payload: dict) -> dict:
         scenario = config.build(seed=seed)
         instance = scenario.instance()
         lp_bound_bits = float(dcmp_lp_upper_bound(instance))
-        result = run_tour(scenario, get_algorithm(algorithm), mutate=False)
-        if want_certificate:
-            certificate = certify(
-                instance,
-                result.allocation,
-                algorithm=algorithm,
-                lp_bound_bits=lp_bound_bits,
-            )
+        doc = _solve_one(
+            scenario, instance, lp_bound_bits, config, algorithm, seed,
+            want_certificate,
+        )
 
-    messages = result.messages.summary() if result.messages is not None else None
-    doc = {
-        "algorithm": algorithm,
-        "seed": seed,
-        "scenario": config.to_dict(),
-        "collected_bits": float(result.collected_bits),
-        "collected_megabits": float(result.collected_megabits),
-        "lp_bound_bits": lp_bound_bits,
-        "lp_bound_fraction": (
-            float(result.collected_bits) / lp_bound_bits if lp_bound_bits else 0.0
-        ),
-        "num_slots": int(instance.num_slots),
-        "gamma": int(scenario.gamma),
-        "schedule": [int(owner) for owner in result.allocation.slot_owner],
-        "total_energy_spent_j": float(result.total_energy_spent),
-        "messages": messages,
-        "profile": {k: float(v) for k, v in result.profile.items()},
-        WORKER_METRICS_KEY: registry.dump(),
-    }
-    if scenario.plan is not None:
-        # Summary only (kind, per-sink tour lengths, planner meta) — the
-        # full waypoint geometry is `repro plan`'s job, not the solve
-        # response's.  Planner-less responses are unchanged.
-        plan_doc = scenario.plan.to_dict()
-        doc["plan"] = {
-            k: plan_doc[k]
-            for k in (
-                "kind",
-                "num_sinks",
-                "path_length_m",
-                "total_tour_length_m",
-                "tour_lengths_m",
-                "meta",
-            )
-        }
-    if certificate is not None:
-        doc["certificate"] = certificate.to_dict()
+    doc[WORKER_METRICS_KEY] = registry.dump()
     if tracer is not None:
         doc[TRACE_EVENTS_KEY] = [event.as_dict() for event in tracer.events]
     if profiler is not None:
         doc[FOLDED_STACKS_KEY] = profiler.folded()
     return doc
+
+
+def solve_batch_payload(payload: dict) -> dict:
+    """Solve a batch payload; returns ``{"results": [...]}``.
+
+    ``payload`` is ``{"items": [<solve payload>, ...]}`` — each item the
+    exact :func:`solve_payload` shape minus ``trace`` (batches skip
+    slow-request capture).  Items are grouped by ``(scenario config,
+    seed)``: each distinct deployment is built **once** — topology,
+    DCMP instance, derived arrays and the LP upper bound are all shared
+    across that deployment's algorithms — and each item is then solved
+    by :func:`_solve_one`, so every per-item document is byte-identical
+    to what a single :func:`solve_payload` call would have produced
+    (modulo wall-clock profile numbers).  Results come back in item
+    order.  The whole batch runs under one recording registry whose
+    dump travels back under :data:`WORKER_METRICS_KEY` (top level only;
+    items carry no internal keys).
+    """
+    items = payload["items"]
+    parsed: List[Tuple[ScenarioConfig, str, Optional[int], bool]] = [
+        (
+            ScenarioConfig.from_dict(item["scenario"]),
+            item["algorithm"],
+            item.get("seed"),
+            bool(item.get("certify")),
+        )
+        for item in items
+    ]
+    groups: Dict[Tuple[ScenarioConfig, Optional[int]], List[int]] = {}
+    for position, (config, _, seed, _) in enumerate(parsed):
+        groups.setdefault((config, seed), []).append(position)
+
+    registry = MetricsRegistry()
+    results: List[Optional[dict]] = [None] * len(parsed)
+    with use_registry(registry):
+        registry.inc("batch.groups", len(groups))
+        registry.inc("batch.tours", len(parsed))
+        for (config, seed), positions in groups.items():
+            scenario = config.build(seed=seed)
+            instance = scenario.instance()
+            lp_bound_bits = float(dcmp_lp_upper_bound(instance))
+            for position in positions:
+                _, algorithm, _, want_certificate = parsed[position]
+                results[position] = _solve_one(
+                    scenario, instance, lp_bound_bits, config, algorithm,
+                    seed, want_certificate,
+                )
+    return {"results": results, WORKER_METRICS_KEY: registry.dump()}

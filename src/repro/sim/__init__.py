@@ -19,6 +19,7 @@ from repro.sim.algorithms import (
     TourAlgorithm,
     get_algorithm,
 )
+from repro.sim.batch import TourSpec, run_tours
 from repro.sim.results import SimulationResult, TourResult
 from repro.sim.simulator import run_tour, simulate_tours
 from repro.sim.metrics import (
@@ -43,6 +44,8 @@ __all__ = [
     "TourResult",
     "SimulationResult",
     "run_tour",
+    "run_tours",
+    "TourSpec",
     "simulate_tours",
     "throughput_megabits",
     "jain_fairness",

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.instance import DataCollectionInstance
 from repro.energy.budget import BudgetPolicy, StoredEnergyBudgetPolicy
 from repro.obs import get_logger, get_registry, profile_phase, span
 from repro.sim.algorithms import TourAlgorithm
@@ -40,6 +41,7 @@ def run_tour(
     rest_time: float = 0.0,
     mutate: bool = True,
     certify: bool = False,
+    instance: Optional[DataCollectionInstance] = None,
 ) -> TourResult:
     """Execute one tour of ``algorithm`` over ``scenario``.
 
@@ -71,6 +73,13 @@ def run_tour(
         ``TourResult.certificate``; adds a ``certify_s`` profile phase
         and a ``tour.certify`` timer.  The plain ``check_feasible``
         verification always runs regardless.
+    instance:
+        A pre-built DCMP instance to solve instead of deriving one from
+        the scenario's battery state.  Batch runs
+        (:func:`repro.sim.batch.run_tours`) pass the same instance to
+        several algorithms so its derived arrays — coverage windows,
+        rate/profit tables, the GAP reduction — are built once and
+        shared; the caller is responsible for it matching the scenario.
 
     Returns
     -------
@@ -94,10 +103,9 @@ def run_tour(
     t_start = time.perf_counter()
     with span("tour", tour=tour_index, algorithm=algorithm.name):
         with span("tour.instance_build"), profile_phase("instance_build"):
-            instance = scenario.instance(policy, tour_index)
-            budgets = np.array(
-                [instance.budget_of(i) for i in range(instance.num_sensors)]
-            )
+            if instance is None:
+                instance = scenario.instance(policy, tour_index)
+            budgets = np.array(instance.budgets_array())
         t_built = time.perf_counter()
 
         with span("tour.solve", algorithm=algorithm.name), profile_phase("solve"):

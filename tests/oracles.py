@@ -1,0 +1,259 @@
+"""Scalar reference oracles for the array-native solver core.
+
+Each function here is a deliberately naive, loop-based re-implementation
+of a vectorised production routine.  They exist so the equivalence suite
+(:mod:`tests.test_array_equivalence`) can assert that the numpy forms
+are *bit-identical* to the scalar semantics they replaced — same
+selections, same IEEE-754 accumulation order, same error behaviour —
+not merely "close".
+
+Keep these boring: single code path, plain Python floats, nested loops.
+Any cleverness added here defeats their purpose as references.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import _BUDGET_EPS, UNASSIGNED, Allocation
+from repro.core.gap import GapInstance, KnapsackSolver
+from repro.core.instance import DataCollectionInstance
+
+__all__ = [
+    "knapsack_few_weights_oracle",
+    "local_ratio_gap_oracle",
+    "allocation_stats_oracle",
+]
+
+
+# ----------------------------------------------------------------------
+# Knapsack: exact few-distinct-weights enumeration, one code path
+# ----------------------------------------------------------------------
+def knapsack_few_weights_oracle(
+    profits: Sequence[float], weights: Sequence[float], capacity: float
+) -> Tuple[Tuple[int, ...], float, float]:
+    """Reference for :func:`repro.core.knapsack.knapsack_few_weights`.
+
+    Returns ``(selected, profit, weight)`` with the production
+    semantics: filter to positive-profit affordable items (raising on
+    any negative weight), group by weight value (classes ascending,
+    members profit-descending with ascending-index ties), take all
+    zero-weight items, greedy-fill the largest class, enumerate count
+    vectors over the rest in row-major order keeping the earliest
+    profit tie, and report the selection index-ascending with
+    sequential summation.
+    """
+    p_all = [float(x) for x in profits]
+    w_all = [float(x) for x in weights]
+    if len(p_all) != len(w_all):
+        raise ValueError("profits and weights must be equal-length")
+    idx: List[int] = []
+    p: List[float] = []
+    w: List[float] = []
+    for k, wv in enumerate(w_all):
+        if wv < 0.0:
+            raise ValueError("weights must be non-negative")
+        if p_all[k] > 0.0 and wv <= capacity:
+            idx.append(k)
+            p.append(p_all[k])
+            w.append(wv)
+    n = len(idx)
+    if n == 0:
+        return (), 0.0, 0.0
+
+    groups: Dict[float, List[int]] = {}
+    for k in range(n):
+        groups.setdefault(w[k], []).append(k)
+    base_profit = 0.0
+    base_chosen: List[int] = []
+    classes: List[Tuple[float, List[int], List[float]]] = []
+    for weight_value in sorted(groups):
+        members = sorted(groups[weight_value], key=lambda k: -p[k])
+        prefix = [0.0]
+        acc = 0.0
+        for k in members:
+            acc += p[k]
+            prefix.append(acc)
+        if weight_value == 0.0:
+            base_profit += acc
+            base_chosen.extend(members)
+        else:
+            classes.append((weight_value, members, prefix))
+
+    chosen = list(base_chosen)
+    if classes:
+        sizes = [len(members) for _, members, _ in classes]
+        greedy_class = max(range(len(sizes)), key=sizes.__getitem__)
+        enum = [c for k, c in enumerate(classes) if k != greedy_class]
+        g_weight, g_members, g_prefix = classes[greedy_class]
+        g_size = len(g_members)
+        limits = [
+            min(len(members), int(capacity / weight_value + 1e-12))
+            for weight_value, members, _ in enum
+        ]
+        cap_slack = capacity + 1e-12
+        best_total = -math.inf
+        best_counts: Tuple[int, ...] = tuple(0 for _ in enum)
+        best_g = 0
+        # product() varies the last factor fastest: row-major order,
+        # exactly the production enumeration order (ties keep the
+        # earliest combination).
+        for counts in itertools.product(*(range(lim + 1) for lim in limits)):
+            used = 0.0
+            acc = base_profit
+            for k, count in enumerate(counts):
+                used += count * enum[k][0]
+                acc += enum[k][2][count]
+            if used <= cap_slack:
+                g_count = min(
+                    g_size, int(math.floor((capacity - used) / g_weight + 1e-12))
+                )
+                if g_count < 0:
+                    g_count = 0
+                total = acc + g_prefix[g_count]
+                if total > best_total:
+                    best_total = total
+                    best_counts = counts
+                    best_g = g_count
+        for count, (_, members, _) in zip(best_counts, enum):
+            chosen.extend(members[:count])
+        chosen.extend(g_members[:best_g])
+
+    chosen.sort()
+    profit = 0.0
+    weight = 0.0
+    for k in chosen:
+        profit += p[k]
+        weight += w[k]
+    return tuple(idx[k] for k in chosen), profit, weight
+
+
+# ----------------------------------------------------------------------
+# GAP: scalar local-ratio residual loop
+# ----------------------------------------------------------------------
+def local_ratio_gap_oracle(
+    instance: GapInstance,
+    knapsack_solver: KnapsackSolver,
+    bin_order: Optional[Sequence[int]] = None,
+) -> Tuple[Dict[int, List[int]], Dict[int, List[int]], float, int]:
+    """Reference for :func:`repro.core.gap.local_ratio_gap`.
+
+    Returns ``(assignment, tentative, profit, residual_updates)``.
+    Residuals live in per-bin Python lists; each round subtracts the
+    chosen items' positive residuals from every *other* bin containing
+    them, one scalar subtraction per occurrence (the quantity the
+    ``gap.residual_updates`` counter reports).
+    """
+    order = (
+        list(range(instance.num_bins)) if bin_order is None else list(bin_order)
+    )
+    if sorted(order) != list(range(instance.num_bins)):
+        raise ValueError("bin_order must be a permutation of all bins")
+    bins = instance.bins
+    residual: List[List[float]] = [b.profits.astype(float).tolist() for b in bins]
+    occurrences: Dict[int, List[Tuple[int, int]]] = {}
+    for bin_index, b in enumerate(bins):
+        for pos, item in enumerate(b.items.tolist()):
+            occurrences.setdefault(item, []).append((bin_index, pos))
+
+    tentative: Dict[int, List[int]] = {}
+    updates = 0
+    for l in order:
+        b = bins[l]
+        result = knapsack_solver(
+            np.asarray(residual[l], dtype=np.float64), b.weights, b.capacity
+        )
+        chosen = result.selected
+        if chosen:
+            items_l = b.items.tolist()
+            tentative[l] = [items_l[k] for k in chosen]
+            for k in chosen:
+                delta = residual[l][k]
+                if delta > 0.0:
+                    for other_bin, pos in occurrences[items_l[k]]:
+                        if other_bin != l:
+                            residual[other_bin][pos] -= delta
+                            updates += 1
+        else:
+            tentative[l] = []
+        residual[l] = [float("-inf")] * len(residual[l])
+
+    taken: set = set()
+    assignment: Dict[int, List[int]] = {}
+    for l in reversed(order):
+        mine = [item for item in tentative[l] if item not in taken]
+        assignment[l] = sorted(mine)
+        taken.update(mine)
+
+    # Profit under the original profits, accumulated in the same order
+    # as production: bins in assignment insertion order, items ascending.
+    profit = 0.0
+    for l, items in assignment.items():
+        b = bins[l]
+        lookup = {int(item): k for k, item in enumerate(b.items.tolist())}
+        for item in items:
+            profit += float(b.profits[lookup[item]])
+    return (
+        assignment,
+        {k: sorted(v) for k, v in tentative.items()},
+        profit,
+        updates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Allocation accounting: scalar sweeps
+# ----------------------------------------------------------------------
+def allocation_stats_oracle(
+    allocation: Allocation, instance: DataCollectionInstance
+) -> Tuple[float, List[float], List[float], List[str]]:
+    """Reference for the :class:`repro.core.allocation.Allocation`
+    accounting methods.
+
+    Returns ``(collected_bits, energy_spent, per_sensor_bits,
+    violations)`` computed with per-slot scalar loops and the scalar
+    ``instance.profit`` / ``instance.cost`` accessors, matching the
+    vectorised methods' accumulation order (slot-ascending) and their
+    violation message text exactly.
+    """
+    n = instance.num_sensors
+    if allocation.num_slots != instance.num_slots:
+        return (
+            0.0,
+            [0.0] * n,
+            [0.0] * n,
+            [
+                f"allocation horizon {allocation.num_slots} != "
+                f"instance horizon {instance.num_slots}"
+            ],
+        )
+    collected = 0.0
+    energy = [0.0] * n
+    bits = [0.0] * n
+    problems: List[str] = []
+    for slot, owner in enumerate(allocation.slot_owner.tolist()):
+        if owner == UNASSIGNED:
+            continue
+        if not (0 <= owner < n):
+            problems.append(f"slot {slot}: unknown sensor {owner}")
+            continue
+        window = instance.window_of(owner)
+        if window is None or not (window.start <= slot <= window.end):
+            problems.append(f"slot {slot}: outside A(v_{owner}) = {window}")
+            continue
+        collected += instance.profit(owner, slot)
+        energy[owner] += instance.cost(owner, slot)
+        bits[owner] += instance.profit(owner, slot)
+    budgets = instance.budgets_array().tolist()
+    for sensor in range(n):
+        if energy[sensor] > budgets[sensor] + _BUDGET_EPS:
+            problems.append(
+                f"sensor {sensor}: energy {energy[sensor]:.9f} J exceeds "
+                f"budget {budgets[sensor]:.9f} J by "
+                f"{energy[sensor] - budgets[sensor]:.3e} J"
+            )
+    return collected, energy, bits, problems

@@ -158,6 +158,59 @@ def test_default_quick_grid_includes_planner_cells():
     assert kinds == {"plane_sweep", "multi_sink"}
 
 
+def test_scale_and_batch_cells_run_and_agree():
+    from repro.experiments.bench import BATCH_ALGORITHMS
+
+    doc = run_bench(
+        quick=True,
+        seed=3,
+        grid=(),
+        algorithms=(),
+        scale_grid=(("Offline_Appro", 12, 1500.0),),
+        batch_grid=((12, 1500.0),),
+    )
+    names = [e["algorithm"] for e in doc["entries"]]
+    assert names == ["Offline_Appro", "Batch[mixed]"]
+    scale, batch = doc["entries"]
+    assert scale["num_sensors"] == 12
+    assert scale["collected_megabits"] > 0
+    # The batch cell runs every mixed algorithm through one shared
+    # instance preparation and carries the batch work counters.
+    assert batch["counters"]["batch.groups"] == 1
+    assert batch["counters"]["batch.tours"] == len(BATCH_ALGORITHMS)
+    assert batch["counters"]["tour.runs"] == len(BATCH_ALGORITHMS)
+    assert batch["profile"]["prepare_s"] >= 0
+    # Shared preparation means the batch's summed megabits include the
+    # scale cell's algorithm on the identical deployment.
+    assert batch["collected_megabits"] > scale["collected_megabits"]
+
+
+def test_batch_cell_megabits_equals_sequential_sum():
+    from repro.experiments.bench import BATCH_ALGORITHMS
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.sim import ScenarioConfig, run_tour
+    from repro.sim.algorithms import get_algorithm
+
+    doc = run_bench(
+        quick=True, seed=3, grid=(), algorithms=(), batch_grid=((12, 1500.0),)
+    )
+    [batch] = doc["entries"]
+    total = 0.0
+    for name in BATCH_ALGORITHMS:
+        scenario = ScenarioConfig(num_sensors=12, path_length=1500.0).build(seed=3)
+        with use_registry(MetricsRegistry()):
+            result = run_tour(scenario, get_algorithm(name), mutate=False)
+        total += result.collected_megabits
+    assert batch["collected_megabits"] == total
+
+
+def test_default_quick_grid_includes_scale_and_batch_cells():
+    from repro.experiments.bench import BATCH_GRID, SCALE_GRID
+
+    assert all(n >= 600 for _, n, _ in SCALE_GRID)
+    assert all(n >= 600 for n, _ in BATCH_GRID)
+
+
 def test_cli_accepts_bench_flags(tmp_path):
     parser = build_parser()
     args = parser.parse_args(
@@ -199,3 +252,6 @@ def test_cli_accepts_new_serve_flags(tmp_path):
     assert args.access_log == str(tmp_path / "access.log")
     args = parser.parse_args(["serve"])
     assert args.trace_threshold is None
+    assert args.max_batch_items == 32
+    args = parser.parse_args(["serve", "--max-batch-items", "8"])
+    assert args.max_batch_items == 8

@@ -116,6 +116,27 @@ class TestCompare:
             for f in cmp["warnings"]
         )
 
+    def test_appeared_counter_is_a_warning(self):
+        old = make_doc([make_entry()])
+        new = make_doc(
+            [
+                make_entry(
+                    counters={
+                        "knapsack.calls": 30.0,
+                        "mcmf.solves": 1.0,
+                        "tour.runs": 1.0,
+                        "batch.groups": 1.0,
+                    }
+                )
+            ]
+        )
+        cmp = compare_bench(old, new)
+        assert cmp["ok"] is True
+        assert any(
+            f["metric"] == "batch.groups" and "appeared" in f["detail"]
+            for f in cmp["warnings"]
+        )
+
     def test_counter_tolerance_bounds_drift(self):
         old = make_doc([make_entry()])
         new = make_doc(

@@ -873,3 +873,113 @@ class TestCache:
             for kind in ("fixed_line", "plane_sweep", "multi_sink")
         }
         assert len(keys) == 3
+
+
+class TestSolveBatch:
+    """``POST /v1/solve-batch``: one job, per-scenario results, shared
+    instance preparation, cache interoperability with ``/v1/solve``."""
+
+    def test_batch_solves_every_item_and_shares_cache(self, served):
+        port, service = served
+        names = [
+            "Offline_Appro",
+            "Baseline[greedy_profit]",
+            "Baseline[round_robin]",
+        ]
+        body = {"items": [_solve_body(seed=61, algorithm=n) for n in names]}
+        status, doc = _request(port, "/v1/solve-batch", "POST", body)
+        assert status == 200, doc
+        assert doc["items"] == 3
+        assert doc["cache_hits"] == 0
+        assert [r["algorithm"] for r in doc["results"]] == names
+        for result in doc["results"]:
+            assert result["cached"] is False
+            assert result["collected_megabits"] > 0
+            assert len(result["schedule"]) == result["num_slots"]
+        # Replay: every item now comes from the cache.
+        status, doc = _request(port, "/v1/solve-batch", "POST", body)
+        assert status == 200
+        assert doc["cache_hits"] == 3
+        assert all(r["cached"] for r in doc["results"])
+
+    def test_batch_results_match_single_solves(self, served):
+        port, _ = served
+        item = _solve_body(seed=62)
+        status, single = _request(port, "/v1/solve", "POST", item)
+        assert status == 200
+        status, doc = _request(port, "/v1/solve-batch", "POST", {"items": [item]})
+        assert status == 200
+        batched = doc["results"][0]
+        # The single solve populated the cache; the batch reuses it, and
+        # the payloads agree except for the cache marker.
+        assert batched["cached"] is True
+        assert batched["collected_bits"] == single["collected_bits"]
+        assert batched["schedule"] == single["schedule"]
+
+    def test_batch_populates_cache_for_single_solves(self, served):
+        port, _ = served
+        item = _solve_body(seed=63, algorithm="Baseline[greedy_density]")
+        status, doc = _request(port, "/v1/solve-batch", "POST", {"items": [item]})
+        assert status == 200
+        assert doc["cache_hits"] == 0
+        status, single = _request(port, "/v1/solve", "POST", item)
+        assert status == 200
+        assert single["cached"] is True
+        assert single["collected_bits"] == doc["results"][0]["collected_bits"]
+
+    def test_batch_item_certification(self, served):
+        port, _ = served
+        item = _solve_body(seed=64, certify=True)
+        status, doc = _request(port, "/v1/solve-batch", "POST", {"items": [item]})
+        assert status == 200, doc
+        cert = doc["results"][0]["certificate"]
+        assert cert["format"] == "repro.certificate"
+        assert cert["verdict"] == "pass"
+
+    def test_mixed_seeds_group_separately(self, served):
+        port, _ = served
+        body = {
+            "items": [
+                _solve_body(seed=65),
+                _solve_body(seed=66),
+                _solve_body(seed=65, algorithm="Baseline[greedy_profit]"),
+            ]
+        }
+        status, doc = _request(port, "/v1/solve-batch", "POST", body)
+        assert status == 200
+        a, b, c = doc["results"]
+        assert a["seed"] == 65 and b["seed"] == 66 and c["seed"] == 65
+        # Different seeds genuinely produce different deployments.
+        assert a["collected_bits"] != b["collected_bits"]
+
+    def test_validation_errors_name_the_item(self, served):
+        port, _ = served
+        status, doc = _request(
+            port,
+            "/v1/solve-batch",
+            "POST",
+            {"items": [_solve_body(), {"algorithm": "Nope", "scenario": dict(SMALL)}]},
+        )
+        assert status == 400
+        assert "items[1]" in doc["error"]
+
+    def test_batch_body_shape_errors(self, served):
+        port, _ = served
+        assert _request(port, "/v1/solve-batch", "POST", [1, 2])[0] == 400
+        assert _request(port, "/v1/solve-batch", "POST", {"items": []})[0] == 400
+        status, doc = _request(
+            port, "/v1/solve-batch", "POST", {"items": [_solve_body()], "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in doc["error"]
+
+    def test_batch_size_cap(self, served):
+        port, service = served
+        too_many = {
+            "items": [
+                _solve_body(seed=s) for s in range(service.max_batch_items + 1)
+            ]
+        }
+        status, doc = _request(port, "/v1/solve-batch", "POST", too_many)
+        assert status == 400
+        assert "items" in doc["error"]
